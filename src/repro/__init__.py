@@ -1,0 +1,52 @@
+"""Reproduction of "Proteus: A Self-Designing Range Filter" (SIGMOD 2022).
+
+The package is organised as a set of small, focused subpackages:
+
+``repro.keys``
+    Key encoding: integer and string keys viewed as fixed-width bit strings,
+    prefix extraction and longest-common-prefix machinery.
+``repro.amq``
+    Approximate membership query structures (Bloom filters and friends) and
+    the hashing substrate they rely on.
+``repro.trie``
+    Succinct tries: rank/select bit vectors, LOUDS-Dense, LOUDS-Sparse and
+    the combined Fast Succinct Trie used by SuRF and Proteus.
+``repro.filters``
+    Range filters: the common interface, prefix Bloom filters, SuRF, Rosetta
+    and an ARF-style adaptive filter.
+``repro.core``
+    The paper's contribution: the CPFPR model, Algorithm 1, and the protean
+    range filters (1PBF, 2PBF and Proteus).
+``repro.workloads``
+    Synthetic and SOSD-style datasets and YCSB-E-style query workloads.
+``repro.lsm``
+    A RocksDB-style LSM tree substrate with per-SST range filters and a
+    simulated storage cost model.
+``repro.evaluation``
+    Drivers that regenerate each table and figure of the paper.
+
+The most common entry points are re-exported here.
+"""
+
+from repro.core.proteus import Proteus
+from repro.core.prf import OnePBF, TwoPBF
+from repro.filters.base import RangeFilter
+from repro.filters.prefix_bloom import PrefixBloomFilter
+from repro.filters.rosetta import Rosetta
+from repro.filters.surf import SuRF
+from repro.keys.keyspace import IntegerKeySpace, KeySpace, StringKeySpace
+
+__all__ = [
+    "Proteus",
+    "OnePBF",
+    "TwoPBF",
+    "RangeFilter",
+    "PrefixBloomFilter",
+    "Rosetta",
+    "SuRF",
+    "KeySpace",
+    "IntegerKeySpace",
+    "StringKeySpace",
+]
+
+__version__ = "1.0.0"

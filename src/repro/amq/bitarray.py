@@ -1,0 +1,107 @@
+"""A packed bit array backed by a numpy ``uint8`` buffer.
+
+This is the storage substrate shared by the Bloom filter variants and the
+succinct trie encodings.  Bits are addressed MSB-first within a byte so that
+the serialised form is deterministic and easy to reason about in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+_BIT_MASKS = np.array([1 << (7 - i) for i in range(8)], dtype=np.uint8)
+
+
+class BitArray:
+    """A fixed-size array of bits with O(1) get/set and vectorised batch ops."""
+
+    __slots__ = ("num_bits", "_buffer")
+
+    def __init__(self, num_bits: int):
+        if num_bits < 0:
+            raise ValueError("number of bits must be non-negative")
+        self.num_bits = num_bits
+        self._buffer = np.zeros((num_bits + 7) // 8, dtype=np.uint8)
+
+    def __len__(self) -> int:
+        return self.num_bits
+
+    def _check_index(self, index: int) -> int:
+        if not 0 <= index < self.num_bits:
+            raise IndexError(f"bit index {index} out of range [0, {self.num_bits})")
+        return index
+
+    def set(self, index: int) -> None:
+        """Set bit ``index`` to 1."""
+        self._check_index(index)
+        self._buffer[index >> 3] |= _BIT_MASKS[index & 7]
+
+    def clear(self, index: int) -> None:
+        """Set bit ``index`` to 0."""
+        self._check_index(index)
+        self._buffer[index >> 3] &= np.uint8(~_BIT_MASKS[index & 7] & 0xFF)
+
+    def get(self, index: int) -> bool:
+        """Return whether bit ``index`` is set."""
+        self._check_index(index)
+        return bool(self._buffer[index >> 3] & _BIT_MASKS[index & 7])
+
+    def __getitem__(self, index: int) -> bool:
+        return self.get(index)
+
+    def __setitem__(self, index: int, value: bool) -> None:
+        if value:
+            self.set(index)
+        else:
+            self.clear(index)
+
+    def set_many(self, indices: Iterable[int]) -> None:
+        """Set every bit in ``indices`` (vectorised)."""
+        idx = np.asarray(list(indices), dtype=np.int64)
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self.num_bits:
+            raise IndexError("bit index out of range in set_many")
+        np.bitwise_or.at(self._buffer, idx >> 3, _BIT_MASKS[idx & 7])
+
+    def count(self) -> int:
+        """Return the number of set bits."""
+        return int(np.unpackbits(self._buffer)[: self.num_bits].sum())
+
+    def __iter__(self) -> Iterator[bool]:
+        bits = np.unpackbits(self._buffer)[: self.num_bits]
+        return iter(bool(b) for b in bits)
+
+    def to_bytes(self) -> bytes:
+        """Serialise to a bytes object (MSB-first per byte)."""
+        return self._buffer.tobytes()
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[bool]) -> "BitArray":
+        """Build a bit array from an iterable of booleans."""
+        bit_list = [bool(b) for b in bits]
+        array = cls(len(bit_list))
+        array.set_many(i for i, b in enumerate(bit_list) if b)
+        return array
+
+    @classmethod
+    def from_bytes(cls, data: bytes, num_bits: int) -> "BitArray":
+        """Deserialise a bit array previously produced by :meth:`to_bytes`."""
+        array = cls(num_bits)
+        raw = np.frombuffer(data, dtype=np.uint8)
+        if raw.size != array._buffer.size:
+            raise ValueError("byte payload does not match the requested bit count")
+        array._buffer = raw.copy()
+        return array
+
+    def size_in_bits(self) -> int:
+        """Memory footprint of the payload in bits (excludes Python overhead)."""
+        return int(self._buffer.size) * 8
+
+    def words(self) -> np.ndarray:
+        """Expose the underlying byte buffer (read-only view) for rank/select."""
+        view = self._buffer.view()
+        view.flags.writeable = False
+        return view

@@ -1,0 +1,115 @@
+"""Standard Bloom filter.
+
+This is the AMQ the reference Proteus implementation uses (Section 4.3).
+The hash function count follows the paper's rule ``ceil(m/n * ln 2)`` capped
+at :data:`MAX_HASH_FUNCTIONS` (32), and the analytic false positive
+probability follows Equation 6:
+
+    p = (1 - e^{-ln 2}) ^ ceil(m/n * ln 2)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.amq.bitarray import BitArray
+from repro.amq.hashing import hash_pair
+from repro.amq.interface import AMQ
+
+#: The paper caps the hash function count at 32 (Section 4.3, footnote 2).
+MAX_HASH_FUNCTIONS = 32
+
+
+def bloom_hash_count(num_bits: int, num_items: int) -> int:
+    """Return the number of hash functions for ``num_bits`` bits and ``num_items`` items."""
+    if num_items <= 0 or num_bits <= 0:
+        return 1
+    optimal = math.ceil(num_bits / num_items * math.log(2))
+    return max(1, min(MAX_HASH_FUNCTIONS, optimal))
+
+
+def bloom_fpr(num_bits: int, num_items: int) -> float:
+    """Return the analytic Bloom filter FPR for the paper's configuration (Eq. 6)."""
+    if num_items <= 0:
+        return 0.0
+    if num_bits <= 0:
+        return 1.0
+    num_hashes = bloom_hash_count(num_bits, num_items)
+    return (1.0 - math.exp(-math.log(2))) ** num_hashes
+
+
+class BloomFilter(AMQ):
+    """A standard Bloom filter over non-negative integer items.
+
+    Probe positions are derived with double hashing, which keeps per-probe
+    cost low even when the optimal hash count is large (short prefixes can
+    have very high bits-per-item ratios).
+    """
+
+    def __init__(self, num_bits: int, num_items: int, seed: int = 0):
+        if num_bits <= 0:
+            raise ValueError("a Bloom filter needs a positive number of bits")
+        self.num_bits = int(num_bits)
+        self.expected_items = max(0, int(num_items))
+        self.num_hashes = bloom_hash_count(self.num_bits, max(1, self.expected_items))
+        self.seed = seed
+        self.bits = BitArray(self.num_bits)
+        self._inserted = 0
+
+    @classmethod
+    def from_items(
+        cls, items: Sequence[int], num_bits: int, seed: int = 0
+    ) -> "BloomFilter":
+        """Build a filter sized at ``num_bits`` holding every item in ``items``."""
+        bloom = cls(num_bits, len(items), seed=seed)
+        bloom.add_many(items)
+        return bloom
+
+    def _positions(self, item: int) -> list[int]:
+        h1, h2 = hash_pair(item, self.seed)
+        m = self.num_bits
+        return [(h1 + i * h2) % m for i in range(self.num_hashes)]
+
+    def add(self, item: int) -> None:
+        self.bits.set_many(self._positions(item))
+        self._inserted += 1
+
+    def add_many(self, items: Iterable[int]) -> None:
+        positions: list[int] = []
+        count = 0
+        for item in items:
+            positions.extend(self._positions(item))
+            count += 1
+        self.bits.set_many(positions)
+        self._inserted += count
+
+    def contains(self, item: int) -> bool:
+        h1, h2 = hash_pair(item, self.seed)
+        m = self.num_bits
+        bits = self.bits
+        for i in range(self.num_hashes):
+            if not bits.get((h1 + i * h2) % m):
+                return False
+        return True
+
+    def size_in_bits(self) -> int:
+        return self.bits.size_in_bits()
+
+    def theoretical_fpr(self) -> float:
+        return bloom_fpr(self.num_bits, max(self.expected_items, self._inserted, 1))
+
+    @property
+    def inserted_items(self) -> int:
+        """Number of items inserted so far."""
+        return self._inserted
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits currently set (useful for diagnostics and tests)."""
+        return self.bits.count() / self.num_bits if self.num_bits else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BloomFilter(bits={self.num_bits}, hashes={self.num_hashes}, "
+            f"items={self._inserted})"
+        )

@@ -1,0 +1,85 @@
+"""Counting Bloom filter.
+
+Section 4.1 of the paper notes that replacing Proteus' Bloom filter with a
+counting Bloom filter would let it answer range-count queries and support
+deletions.  We provide a standard 4-bit-counter-equivalent implementation
+(counters are stored as uint8 for simplicity; the reported size assumes the
+configured counter width).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amq.bloom import bloom_fpr, bloom_hash_count
+from repro.amq.hashing import hash_pair
+from repro.amq.interface import AMQ
+
+
+class CountingBloomFilter(AMQ):
+    """A Bloom filter with per-slot counters supporting deletion and counts."""
+
+    def __init__(
+        self,
+        num_counters: int,
+        num_items: int,
+        counter_bits: int = 4,
+        seed: int = 0,
+    ):
+        if num_counters <= 0:
+            raise ValueError("a counting Bloom filter needs a positive counter count")
+        if counter_bits <= 0 or counter_bits > 8:
+            raise ValueError("counter width must be between 1 and 8 bits")
+        self.num_counters = int(num_counters)
+        self.counter_bits = counter_bits
+        self.max_count = (1 << counter_bits) - 1
+        self.expected_items = max(0, int(num_items))
+        self.num_hashes = bloom_hash_count(self.num_counters, max(1, self.expected_items))
+        self.seed = seed
+        self._counters = np.zeros(self.num_counters, dtype=np.uint8)
+        self._inserted = 0
+
+    def _positions(self, item: int) -> list[int]:
+        h1, h2 = hash_pair(item, self.seed)
+        m = self.num_counters
+        return [(h1 + i * h2) % m for i in range(self.num_hashes)]
+
+    def add(self, item: int) -> None:
+        for pos in self._positions(item):
+            if self._counters[pos] < self.max_count:
+                self._counters[pos] += 1
+        self._inserted += 1
+
+    def remove(self, item: int) -> None:
+        """Remove one occurrence of ``item``.
+
+        Removing an item that was never added corrupts the filter, exactly as
+        with any counting Bloom filter; callers are responsible for only
+        deleting previously inserted items.
+        """
+        positions = self._positions(item)
+        if any(self._counters[pos] == 0 for pos in positions):
+            raise KeyError("attempt to remove an item that is definitely absent")
+        for pos in positions:
+            if self._counters[pos] < self.max_count:
+                self._counters[pos] -= 1
+        self._inserted = max(0, self._inserted - 1)
+
+    def contains(self, item: int) -> bool:
+        return all(self._counters[pos] > 0 for pos in self._positions(item))
+
+    def count(self, item: int) -> int:
+        """Return an upper bound on the number of times ``item`` was added."""
+        return int(min(self._counters[pos] for pos in self._positions(item)))
+
+    def size_in_bits(self) -> int:
+        return self.num_counters * self.counter_bits
+
+    def theoretical_fpr(self) -> float:
+        return bloom_fpr(self.num_counters, max(self.expected_items, self._inserted, 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CountingBloomFilter(counters={self.num_counters}, "
+            f"hashes={self.num_hashes}, items={self._inserted})"
+        )

@@ -1,0 +1,67 @@
+"""64-bit hashing substrate for the AMQ structures.
+
+The paper uses MurmurHash3 for integer keys and CLHASH for string keys
+(Section 4.3, footnote 2; Section 7.1).  Neither exact implementation matters
+for filter behaviour — any well-mixed 64-bit hash yields the same Bloom
+filter FPR — so we use the MurmurHash3/splitmix64 finaliser for word-sized
+integers and an FNV-1a-style rolling hash (with the same finaliser) for
+arbitrary-precision integers and byte strings.  This substitution is recorded
+in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+#: Multipliers from the MurmurHash3 / splitmix64 finalisers.
+_MIX_MULT_1 = 0xFF51AFD7ED558CCD
+_MIX_MULT_2 = 0xC4CEB9FE1A85EC53
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def mix64(value: int) -> int:
+    """Finalise a 64-bit value with the MurmurHash3 ``fmix64`` routine."""
+    value &= _MASK64
+    value ^= value >> 33
+    value = (value * _MIX_MULT_1) & _MASK64
+    value ^= value >> 33
+    value = (value * _MIX_MULT_2) & _MASK64
+    value ^= value >> 33
+    return value
+
+
+def hash_bytes_64(data: bytes, seed: int = 0) -> int:
+    """Hash a byte string to 64 bits (FNV-1a accumulation + fmix64 finaliser)."""
+    acc = (_FNV_OFFSET ^ mix64(seed)) & _MASK64
+    for chunk_start in range(0, len(data), 8):
+        chunk = data[chunk_start : chunk_start + 8]
+        acc ^= int.from_bytes(chunk, "little")
+        acc = (acc * _FNV_PRIME) & _MASK64
+    return mix64(acc ^ len(data))
+
+
+def hash_int_64(value: int, seed: int = 0) -> int:
+    """Hash an arbitrary-precision non-negative integer to 64 bits.
+
+    Word-sized values take the fast path through :func:`mix64`; wider values
+    (padded string keys can be thousands of bits) are hashed bytewise.
+    """
+    if value < 0:
+        raise ValueError("hash_int_64 expects a non-negative integer")
+    if value <= _MASK64:
+        return mix64(value ^ mix64(seed))
+    num_bytes = (value.bit_length() + 7) // 8
+    return hash_bytes_64(value.to_bytes(num_bytes, "little"), seed)
+
+
+def hash_pair(value: int, seed: int = 0) -> tuple[int, int]:
+    """Return two independent 64-bit hashes of ``value`` for double hashing.
+
+    Bloom filter probe positions are derived as ``h1 + i * h2`` (Kirsch and
+    Mitzenmacher), which preserves the asymptotic FPR of ``k`` independent
+    hash functions while only computing two.
+    """
+    h1 = hash_int_64(value, seed)
+    h2 = hash_int_64(value, seed ^ 0x9E3779B97F4A7C15) | 1
+    return h1, h2 & _MASK64

@@ -1,0 +1,38 @@
+"""Common interface for approximate membership query structures."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+
+class AMQ(ABC):
+    """An approximate set-membership structure over non-negative integer items.
+
+    Implementations may report false positives but never false negatives for
+    items that were added.
+    """
+
+    @abstractmethod
+    def add(self, item: int) -> None:
+        """Insert ``item`` into the structure."""
+
+    @abstractmethod
+    def contains(self, item: int) -> bool:
+        """Return True if ``item`` may be present (no false negatives)."""
+
+    def add_many(self, items: Iterable[int]) -> None:
+        """Insert every item in ``items``."""
+        for item in items:
+            self.add(item)
+
+    def __contains__(self, item: int) -> bool:
+        return self.contains(item)
+
+    @abstractmethod
+    def size_in_bits(self) -> int:
+        """Return the memory footprint of the payload in bits."""
+
+    @abstractmethod
+    def theoretical_fpr(self) -> float:
+        """Return the analytic single-item false positive probability."""

@@ -1,0 +1,112 @@
+"""Longest-common-prefix computations used by the CPFPR model.
+
+The model (Section 3 of the paper) needs two quantities derived from the key
+set and the sample queries:
+
+* ``|K_l|`` — the number of unique ``l``-bit prefixes of the key set, for
+  every prefix length ``l``.  This drives the Bloom filter FPR estimate and
+  the trie size estimate.  It is computed from the LCPs of adjacent keys in
+  the sorted key set (an ``O(|K|)`` pass, Section 4.3 "Count Key Prefixes").
+* ``lcp(Q, K)`` — for an empty query interval ``Q``, the longest common
+  prefix between any value in ``Q`` and any key.  Any prefix length at most
+  ``lcp(Q, K)`` cannot distinguish the query from the key set and is a
+  guaranteed false positive (Section 4.3 "Count Query Prefixes").
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Sequence
+
+
+def lcp_bits(a: int, b: int, width: int) -> int:
+    """Return the length in bits of the longest common prefix of ``a`` and ``b``.
+
+    Both values are interpreted as ``width``-bit unsigned integers.
+    """
+    if a == b:
+        return width
+    return width - (a ^ b).bit_length()
+
+
+def adjacent_lcps(sorted_keys: Sequence[int], width: int) -> list[int]:
+    """Return the LCP (in bits) of each adjacent pair in ``sorted_keys``."""
+    return [
+        lcp_bits(sorted_keys[i], sorted_keys[i + 1], width)
+        for i in range(len(sorted_keys) - 1)
+    ]
+
+
+def unique_prefix_counts(sorted_keys: Sequence[int], width: int) -> list[int]:
+    """Return ``counts`` where ``counts[l] == |K_l|`` for ``l`` in ``[0, width]``.
+
+    ``|K_0|`` is 1 (the empty prefix) whenever the key set is non-empty.
+    ``|K_l|`` equals one plus the number of adjacent key pairs whose LCP is
+    shorter than ``l`` (each such pair contributes a branch before depth
+    ``l``).  Duplicate keys are tolerated (they share all prefixes).
+    """
+    if not sorted_keys:
+        return [0] * (width + 1)
+    # lcp_histogram[d] = number of adjacent pairs with LCP exactly d bits.
+    lcp_histogram = [0] * (width + 1)
+    for lcp in adjacent_lcps(sorted_keys, width):
+        lcp_histogram[lcp] += 1
+    counts = [0] * (width + 1)
+    counts[0] = 1
+    pairs_with_shorter_lcp = 0
+    for length in range(1, width + 1):
+        pairs_with_shorter_lcp += lcp_histogram[length - 1]
+        counts[length] = 1 + pairs_with_shorter_lcp
+    return counts
+
+
+def query_set_lcp(sorted_keys: Sequence[int], lo: int, hi: int, width: int) -> int:
+    """Return ``lcp(Q, K)`` for the query interval ``[lo, hi]``.
+
+    If the interval contains a key (i.e. the query is not empty), the LCP is
+    the full key width, matching the model's convention that such a query can
+    never be filtered.
+
+    For an empty interval the maximum LCP with the key set is attained either
+    between ``lo`` and its predecessor key or between ``hi`` and its successor
+    key, because for values ``a <= b <= c`` we have
+    ``lcp(a, c) = min(lcp(a, b), lcp(b, c))``.
+    """
+    if not sorted_keys:
+        return 0
+    left = bisect_left(sorted_keys, lo)
+    right = bisect_right(sorted_keys, hi)
+    if right > left:
+        # At least one key falls inside [lo, hi]: the query is non-empty.
+        return width
+    best = 0
+    if left > 0:
+        best = max(best, lcp_bits(sorted_keys[left - 1], lo, width))
+    if right < len(sorted_keys):
+        best = max(best, lcp_bits(sorted_keys[right], hi, width))
+    return best
+
+
+def min_distinguishing_prefix_lengths(
+    sorted_keys: Sequence[int], width: int
+) -> list[int]:
+    """Return, for each key, the minimum prefix length that uniquely identifies it.
+
+    This is the pruning rule used by SuRF-Base: the branch for each key is cut
+    at the shortest prefix that no other key shares.  For a key at position
+    ``i`` this is ``1 + max(lcp with left neighbour, lcp with right
+    neighbour)`` (capped at the key width).  Duplicate keys get the full
+    width.
+    """
+    n = len(sorted_keys)
+    if n == 0:
+        return []
+    if n == 1:
+        return [1]
+    lcps = adjacent_lcps(sorted_keys, width)
+    lengths = []
+    for i in range(n):
+        left = lcps[i - 1] if i > 0 else -1
+        right = lcps[i] if i < n - 1 else -1
+        lengths.append(min(width, max(left, right) + 1))
+    return lengths

@@ -1,0 +1,48 @@
+"""Succinct trie substrate.
+
+SuRF encodes its pruned trie as a Fast Succinct Trie (LOUDS-DS): the top
+levels use the LOUDS-Dense bitmap encoding and the remaining levels use
+LOUDS-Sparse.  Proteus reuses the same machinery for its uniform-depth trie.
+
+The package provides:
+
+* :class:`~repro.trie.bitvector.RankSelectBitVector` — plain bit vector with
+  O(1) rank and O(log n) select.
+* :class:`~repro.trie.node_trie.ByteTrie` — a pointer-based byte trie used as
+  the builder input and as a correctness oracle in tests.
+* :class:`~repro.trie.louds_sparse.LoudsSparseTrie` and
+  :class:`~repro.trie.louds_dense.LoudsDenseTrie` — the two succinct
+  encodings.
+* :class:`~repro.trie.fst.FastSuccinctTrie` — the combined LOUDS-DS encoding
+  (dense levels on top of sparse levels) with prefix-membership and
+  range-overlap queries.
+* :class:`~repro.trie.sorted_index.SortedPrefixIndex` — a semantically
+  identical query engine backed by a sorted array of stored prefixes, used as
+  the fast path for large benchmarks (see DESIGN.md, substitution 6).
+* :mod:`~repro.trie.size_model` — the ``trieMem(l)`` estimator from
+  Algorithm 1 of the paper.
+"""
+
+from repro.trie.bitvector import RankSelectBitVector
+from repro.trie.fst import FastSuccinctTrie
+from repro.trie.louds_dense import LoudsDenseTrie
+from repro.trie.louds_sparse import LoudsSparseTrie
+from repro.trie.node_trie import ByteTrie
+from repro.trie.sorted_index import SortedPrefixIndex
+from repro.trie.size_model import (
+    fst_size_estimate,
+    louds_dense_level_bits,
+    louds_sparse_level_bits,
+)
+
+__all__ = [
+    "RankSelectBitVector",
+    "ByteTrie",
+    "LoudsSparseTrie",
+    "LoudsDenseTrie",
+    "FastSuccinctTrie",
+    "SortedPrefixIndex",
+    "fst_size_estimate",
+    "louds_dense_level_bits",
+    "louds_sparse_level_bits",
+]

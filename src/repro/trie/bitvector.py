@@ -1,0 +1,104 @@
+"""Bit vector with rank/select support.
+
+The LOUDS encodings navigate the trie exclusively through ``rank1``,
+``rank0`` and ``select1`` queries over their bit vectors.  This
+implementation keeps the raw bits in a packed :class:`~repro.amq.bitarray.BitArray`
+and a per-512-bit-block cumulative popcount directory, giving O(1) rank and
+O(log n) select.  The reported payload size excludes the rank directory,
+matching the size accounting convention of the SuRF paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.amq.bitarray import BitArray
+
+_BLOCK_BYTES = 64  # 512-bit rank blocks.
+
+_POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint32)
+
+
+class RankSelectBitVector:
+    """An immutable bit vector supporting rank and select queries."""
+
+    def __init__(self, bits: Sequence[bool] | BitArray):
+        if isinstance(bits, BitArray):
+            self._bits = bits
+        else:
+            self._bits = BitArray.from_bits(bits)
+        self.num_bits = len(self._bits)
+        self._build_rank_directory()
+
+    def _build_rank_directory(self) -> None:
+        byte_buffer = np.frombuffer(self._bits.to_bytes(), dtype=np.uint8)
+        byte_popcounts = _POPCOUNT_TABLE[byte_buffer]
+        self._byte_cumulative = np.concatenate(
+            ([0], np.cumsum(byte_popcounts, dtype=np.int64))
+        )
+        self._total_ones = int(self._byte_cumulative[-1])
+
+    def __len__(self) -> int:
+        return self.num_bits
+
+    def get(self, index: int) -> bool:
+        """Return the bit at ``index``."""
+        return self._bits.get(index)
+
+    def __getitem__(self, index: int) -> bool:
+        return self.get(index)
+
+    def rank1(self, index: int) -> int:
+        """Return the number of set bits in positions ``[0, index)``."""
+        if index <= 0:
+            return 0
+        index = min(index, self.num_bits)
+        full_bytes = index >> 3
+        count = int(self._byte_cumulative[full_bytes])
+        for position in range(full_bytes << 3, index):
+            if self._bits.get(position):
+                count += 1
+        return count
+
+    def rank0(self, index: int) -> int:
+        """Return the number of zero bits in positions ``[0, index)``."""
+        index = max(0, min(index, self.num_bits))
+        return index - self.rank1(index)
+
+    def select1(self, rank: int) -> int:
+        """Return the position of the ``rank``-th set bit (1-indexed)."""
+        if rank <= 0 or rank > self._total_ones:
+            raise ValueError(f"select1 rank {rank} out of range (1..{self._total_ones})")
+        # Binary search over the cumulative byte popcounts.
+        lo, hi = 0, len(self._byte_cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._byte_cumulative[mid] < rank:
+                lo = mid + 1
+            else:
+                hi = mid
+        byte_index = lo - 1
+        count = int(self._byte_cumulative[byte_index])
+        for position in range(byte_index << 3, min(self.num_bits, (byte_index + 1) << 3)):
+            if self._bits.get(position):
+                count += 1
+                if count == rank:
+                    return position
+        raise AssertionError("select1 directory inconsistent")  # pragma: no cover
+
+    def count_ones(self) -> int:
+        """Return the total number of set bits."""
+        return self._total_ones
+
+    def size_in_bits(self) -> int:
+        """Payload size in bits (excludes the rank directory, as in SuRF)."""
+        return self.num_bits
+
+    @classmethod
+    def from_indices(cls, indices: Iterable[int], num_bits: int) -> "RankSelectBitVector":
+        """Build a bit vector of ``num_bits`` bits with the given positions set."""
+        array = BitArray(num_bits)
+        array.set_many(indices)
+        return cls(array)

@@ -1,0 +1,182 @@
+"""Pointer-based byte trie.
+
+This is the builder input for the succinct encodings and the correctness
+oracle used by the test suite.  The trie stores a *prefix-free* set of byte
+strings (if one inserted string is a prefix of another, only the shorter one
+is kept: it covers a superset of the key space, so keeping it preserves the
+no-false-negative guarantee of every filter built on top).
+
+Stored strings are interpreted as key-space *prefixes*: a stored prefix ``p``
+covers the key interval ``[p·00…00, p·FF…FF]``.  The two queries every range
+filter needs are therefore:
+
+* :meth:`ByteTrie.match_prefix_of` — does a stored prefix cover a point key?
+* :meth:`ByteTrie.range_overlaps` — does any stored prefix's interval
+  intersect a query interval ``[lo, hi]``?
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+
+class ByteTrieNode:
+    """A single trie node: a sorted mapping from byte labels to children."""
+
+    __slots__ = ("children", "is_leaf")
+
+    def __init__(self):
+        self.children: dict[int, "ByteTrieNode"] = {}
+        self.is_leaf = False
+
+    def sorted_labels(self) -> list[int]:
+        """Return the child labels in ascending order."""
+        return sorted(self.children)
+
+
+class ByteTrie:
+    """A byte trie over a prefix-free set of byte strings."""
+
+    def __init__(self, prefixes: Iterable[bytes] = ()):
+        self.root = ByteTrieNode()
+        self.num_leaves = 0
+        self.height = 0
+        for prefix in sorted(set(bytes(p) for p in prefixes)):
+            self._insert(prefix)
+
+    def _insert(self, prefix: bytes) -> None:
+        if not prefix:
+            raise ValueError("cannot insert an empty prefix")
+        node = self.root
+        if node.is_leaf:
+            # The empty-covering root already covers everything.
+            return
+        for depth, byte in enumerate(prefix):
+            if node.is_leaf:
+                # A shorter stored prefix already covers this one.
+                return
+            child = node.children.get(byte)
+            if child is None:
+                child = ByteTrieNode()
+                node.children[byte] = child
+            node = child
+        node.is_leaf = True
+        # A leaf must not retain children (prefix-free invariant); since the
+        # input is sorted, a longer string can never have been inserted first
+        # under this node, but clear defensively.
+        node.children.clear()
+        self.num_leaves += 1
+        self.height = max(self.height, len(prefix))
+
+    def __len__(self) -> int:
+        return self.num_leaves
+
+    def leaves(self) -> Iterator[bytes]:
+        """Yield the stored prefixes in lexicographic order."""
+
+        def walk(node: ByteTrieNode, path: bytearray) -> Iterator[bytes]:
+            if node.is_leaf:
+                yield bytes(path)
+                return
+            for label in node.sorted_labels():
+                path.append(label)
+                yield from walk(node.children[label], path)
+                path.pop()
+
+        yield from walk(self.root, bytearray())
+
+    def match_prefix_of(self, key: bytes) -> Optional[bytes]:
+        """Return the stored prefix covering ``key``, or None.
+
+        A stored prefix ``p`` covers ``key`` when ``p`` is a prefix of
+        ``key`` (keys shorter than every stored prefix are not covered).
+        """
+        node = self.root
+        if node.is_leaf:
+            return b""
+        matched = bytearray()
+        for byte in key:
+            child = node.children.get(byte)
+            if child is None:
+                return None
+            matched.append(byte)
+            if child.is_leaf:
+                return bytes(matched)
+            node = child
+        return None
+
+    def range_overlaps(self, lo: bytes, hi: bytes) -> bool:
+        """Return whether any stored prefix interval intersects ``[lo, hi]``.
+
+        ``lo`` and ``hi`` must have equal length (the key-space width in
+        bytes) and satisfy ``lo <= hi``.
+        """
+        if len(lo) != len(hi):
+            raise ValueError("range bounds must have the same byte length")
+        if lo > hi:
+            raise ValueError("empty query range")
+        if self.root.is_leaf:
+            return True
+        return self._overlaps(self.root, 0, lo, hi, True, True)
+
+    def _overlaps(
+        self,
+        node: ByteTrieNode,
+        depth: int,
+        lo: bytes,
+        hi: bytes,
+        tight_lo: bool,
+        tight_hi: bool,
+    ) -> bool:
+        if node.is_leaf:
+            return True
+        if depth >= len(lo):
+            # The stored prefixes are longer than the key width; a node at
+            # this depth covers at most a single key value, which is inside
+            # the query interval by construction of the traversal.
+            return True
+        lo_byte = lo[depth] if tight_lo else 0x00
+        hi_byte = hi[depth] if tight_hi else 0xFF
+        for label in node.sorted_labels():
+            if label < lo_byte or label > hi_byte:
+                continue
+            child = node.children[label]
+            if self._overlaps(
+                child,
+                depth + 1,
+                lo,
+                hi,
+                tight_lo and label == lo_byte,
+                tight_hi and label == hi_byte,
+            ):
+                return True
+        return False
+
+    def level_slices(self) -> list[list[tuple[ByteTrieNode, bytes]]]:
+        """Return nodes grouped by level (breadth-first), with their paths.
+
+        Level 0 contains the root.  Used by the succinct encoders, which lay
+        out nodes in level order.
+        """
+        levels: list[list[tuple[ByteTrieNode, bytes]]] = [[(self.root, b"")]]
+        while True:
+            next_level: list[tuple[ByteTrieNode, bytes]] = []
+            for node, path in levels[-1]:
+                for label in node.sorted_labels():
+                    next_level.append((node.children[label], path + bytes([label])))
+            if not next_level:
+                break
+            levels.append(next_level)
+        return levels
+
+    def edges_per_level(self) -> list[int]:
+        """Return the number of edges entering each level (level 1 onwards)."""
+        levels = self.level_slices()
+        return [len(level) for level in levels[1:]]
+
+    def internal_nodes_per_level(self) -> list[int]:
+        """Return the number of internal (non-leaf) nodes at each level."""
+        return [
+            sum(1 for node, _ in level if not node.is_leaf)
+            for level in self.level_slices()
+        ]
