@@ -9,44 +9,67 @@ The package is organised as a set of small, focused subpackages:
     Approximate membership query structures (Bloom filters and friends) and
     the hashing substrate they rely on.
 ``repro.trie``
-    Succinct tries: rank/select bit vectors, LOUDS-Dense, LOUDS-Sparse and
-    the combined Fast Succinct Trie used by SuRF and Proteus.
+    Trie substrate: rank/select bit vectors, the byte-trie oracle, the
+    sorted prefix index used by Proteus' trie layer and the succinct size
+    models used by SuRF and Algorithm 1.
 ``repro.filters``
-    Range filters: the common interface, prefix Bloom filters, SuRF, Rosetta
-    and an ARF-style adaptive filter.
+    Range filters: the common interface, the exact trie oracle, prefix Bloom
+    filters, SuRF and Rosetta.
 ``repro.core``
     The paper's contribution: the CPFPR model, Algorithm 1, and the protean
     range filters (1PBF, 2PBF and Proteus).
 ``repro.workloads``
-    Synthetic and SOSD-style datasets and YCSB-E-style query workloads.
+    (planned) Synthetic and SOSD-style datasets and YCSB-E-style workloads.
 ``repro.lsm``
-    A RocksDB-style LSM tree substrate with per-SST range filters and a
-    simulated storage cost model.
+    (planned) A RocksDB-style LSM tree substrate with per-SST range filters.
 ``repro.evaluation``
-    Drivers that regenerate each table and figure of the paper.
+    (planned) Drivers that regenerate each table and figure of the paper.
 
-The most common entry points are re-exported here.
+The most common entry points are re-exported here.  Re-exports resolve
+lazily (PEP 562): a missing or broken subpackage surfaces as an error when
+its *name* is touched, never at ``import repro`` time, so one incomplete
+corner of the package cannot take down the rest.
 """
 
-from repro.core.proteus import Proteus
-from repro.core.prf import OnePBF, TwoPBF
-from repro.filters.base import RangeFilter
-from repro.filters.prefix_bloom import PrefixBloomFilter
-from repro.filters.rosetta import Rosetta
-from repro.filters.surf import SuRF
-from repro.keys.keyspace import IntegerKeySpace, KeySpace, StringKeySpace
+from importlib import import_module
 
-__all__ = [
-    "Proteus",
-    "OnePBF",
-    "TwoPBF",
-    "RangeFilter",
-    "PrefixBloomFilter",
-    "Rosetta",
-    "SuRF",
-    "KeySpace",
-    "IntegerKeySpace",
-    "StringKeySpace",
-]
+_LAZY_EXPORTS = {
+    "Proteus": "repro.core.proteus",
+    "OnePBF": "repro.core.prf",
+    "TwoPBF": "repro.core.prf",
+    "CPFPRModel": "repro.core.cpfpr",
+    "FilterDesign": "repro.core.design",
+    "RangeFilter": "repro.filters.base",
+    "TrieOracle": "repro.filters.base",
+    "PrefixBloomFilter": "repro.filters.prefix_bloom",
+    "Rosetta": "repro.filters.rosetta",
+    "SuRF": "repro.filters.surf",
+    "KeySpace": "repro.keys.keyspace",
+    "IntegerKeySpace": "repro.keys.keyspace",
+    "StringKeySpace": "repro.keys.keyspace",
+}
 
-__version__ = "1.0.0"
+__all__ = list(_LAZY_EXPORTS)
+
+__version__ = "1.1.0"
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    try:
+        module = import_module(module_name)
+    except ModuleNotFoundError as exc:
+        raise ImportError(
+            f"{name!r} is exported by {__name__!r} but its home module "
+            f"{module_name!r} is missing or incomplete"
+        ) from exc
+    value = getattr(module, name)
+    globals()[name] = value  # cache so __getattr__ runs once per name
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -11,7 +11,7 @@ from __future__ import annotations
 import math
 
 from repro.amq.bitarray import BitArray
-from repro.amq.bloom import MAX_HASH_FUNCTIONS
+from repro.amq.bloom import MAX_HASH_FUNCTIONS, bloom_fpr
 from repro.amq.hashing import hash_pair
 from repro.amq.interface import AMQ
 
@@ -61,9 +61,8 @@ class BlockedBloomFilter(AMQ):
         return self.bits.size_in_bits()
 
     def theoretical_fpr(self) -> float:
-        # The blocked variant's FPR is slightly above the standard formula; the
-        # standard formula is still the customary estimate.
+        # The blocked variant's FPR is slightly above the standard formula;
+        # the standard formula at the filter's fixed hash count is still the
+        # customary estimate.
         items = max(self.expected_items, self._inserted, 1)
-        return (1.0 - math.exp(-math.log(2))) ** max(
-            1, min(MAX_HASH_FUNCTIONS, math.ceil(self.num_bits / items * math.log(2)))
-        )
+        return bloom_fpr(self.num_bits, items, num_hashes=self.num_hashes)

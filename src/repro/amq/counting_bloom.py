@@ -76,7 +76,11 @@ class CountingBloomFilter(AMQ):
         return self.num_counters * self.counter_bits
 
     def theoretical_fpr(self) -> float:
-        return bloom_fpr(self.num_counters, max(self.expected_items, self._inserted, 1))
+        return bloom_fpr(
+            self.num_counters,
+            max(self.expected_items, self._inserted, 1),
+            num_hashes=self.num_hashes,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

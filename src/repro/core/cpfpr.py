@@ -1,0 +1,218 @@
+"""The Contextual Prefix FPR (CPFPR) model — Sections 3-4 of the paper.
+
+The model predicts the expected false positive rate of a candidate filter
+design *before building it*, from two inputs it derives once:
+
+* the key set, reduced to its prefix-count profile ``|K_l|`` (distinct
+  ``l``-bit prefixes, one sorted pass — :func:`repro.keys.lcp.unique_prefix_counts`)
+  and, lazily, the sorted set of ``l``-prefixes for trie-gated designs;
+* a sample of the query workload, reduced per *empty* query ``q = [lo, hi]``
+  to the triple ``(lo, hi, L(q))`` where ``L(q) = lcp(q, K)`` is the longest
+  prefix the query shares with any key.
+
+The central observation ("contextual" in CPFPR) is that ``L(q)`` makes a
+layer's behaviour on an empty query deterministic or probabilistic:
+
+* a trie of depth ``l1`` accepts ``q`` **iff** ``L(q) >= l1`` — equivalently
+  iff a stored ``l1``-prefix falls inside ``Q_{l1}(q)``;
+* a Bloom filter over ``l2``-prefixes is *certainly* positive when
+  ``L(q) >= l2`` (a truly stored prefix is probed), and otherwise each of
+  the ``n`` probed absent prefixes collides independently with probability
+  ``p = bloom_fpr(m, |K_{l2}|)``, giving ``1 - (1 - p)^n``.
+
+The filters clamp range probes at ``max_probes`` (returning a conservative
+positive beyond it); the model mirrors the clamp exactly, which is what lets
+the model-vs-empirical agreement test hold to within small constants.
+
+FPR here is defined over the *empty* sample queries only — non-empty queries
+are true positives for every zero-false-negative filter and carry no design
+signal.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable
+
+from repro.amq.bloom import bloom_fpr
+from repro.filters.prefix_bloom import DEFAULT_MAX_PROBES
+from repro.keys.keyspace import sorted_distinct_keys
+from repro.keys.lcp import query_set_lcp, unique_prefix_counts
+
+__all__ = ["CPFPRModel", "DEFAULT_MAX_PROBES"]
+
+
+class CPFPRModel:
+    """Expected-FPR evaluator for trie/Bloom prefix-filter designs."""
+
+    def __init__(
+        self,
+        keys: Iterable[int],
+        width: int,
+        queries: Iterable[tuple[int, int]],
+        max_probes: int = DEFAULT_MAX_PROBES,
+    ):
+        if width <= 0:
+            raise ValueError("key width must be positive")
+        if max_probes < 1:
+            raise ValueError("max_probes must be at least 1")
+        self.width = width
+        self.max_probes = max_probes
+        self.sorted_keys: list[int] = sorted_distinct_keys(keys, width)
+        #: ``prefix_counts[l] == |K_l|``, the number of distinct l-bit prefixes.
+        self.prefix_counts = unique_prefix_counts(self.sorted_keys, width)
+        self.num_queries = 0
+        #: Per empty query: ``(lo, hi, L)`` with ``L = lcp(q, K)``.
+        self.empty_queries: list[tuple[int, int, int]] = []
+        top = (1 << width) - 1
+        for lo, hi in queries:
+            if lo > hi:
+                raise ValueError(f"empty query range [{lo}, {hi}]")
+            if lo < 0 or hi > top:
+                raise ValueError(
+                    f"query range [{lo}, {hi}] outside the {width}-bit key space"
+                )
+            self.num_queries += 1
+            lcp = query_set_lcp(self.sorted_keys, lo, hi, width)
+            if lcp < width:
+                self.empty_queries.append((lo, hi, lcp))
+        # Suffix counts over L: _lcp_at_least[l] = #empty queries with L >= l.
+        histogram = [0] * (width + 1)
+        for _, _, lcp in self.empty_queries:
+            histogram[lcp] += 1
+        self._lcp_at_least = [0] * (width + 2)
+        for length in range(width, -1, -1):
+            self._lcp_at_least[length] = self._lcp_at_least[length + 1] + histogram[length]
+        self._prefix_cache: dict[int, list[int]] = {}
+
+    @property
+    def num_empty_queries(self) -> int:
+        return len(self.empty_queries)
+
+    def certain_fp_fraction(self, length: int) -> float:
+        """Fraction of empty queries with ``lcp(q, K) >= length``.
+
+        These queries are guaranteed false positives for any design whose
+        finest layer is ``length`` bits — the lower bound Algorithm 1 prunes
+        dominated candidates with.
+        """
+        if not self.empty_queries:
+            return 0.0
+        return self._lcp_at_least[min(length, self.width + 1)] / len(self.empty_queries)
+
+    def prefixes(self, length: int) -> list[int]:
+        """Return the sorted distinct ``length``-bit key prefixes (cached)."""
+        cached = self._prefix_cache.get(length)
+        if cached is None:
+            shift = self.width - length
+            cached = sorted({key >> shift for key in self.sorted_keys})
+            self._prefix_cache[length] = cached
+        return cached
+
+    def bloom_probe_fpr(self, num_bits: int, length: int) -> float:
+        """Single-probe FPR of a Bloom filter over the ``length``-prefix set."""
+        return bloom_fpr(num_bits, self.prefix_counts[length])
+
+    # ------------------------------------------------------------------ #
+    # Design evaluators                                                  #
+    # ------------------------------------------------------------------ #
+
+    def proteus_fpr(self, trie_depth: int, bloom_prefix_len: int, bloom_bits: int) -> float:
+        """Expected FPR of a Proteus design (trie at ``l1``, Bloom at ``l2``).
+
+        ``trie_depth == 0`` degenerates to a pure prefix Bloom filter (1PBF);
+        ``bloom_prefix_len == 0`` to a trie-only filter.  The two layers must
+        satisfy ``l1 < l2`` when both are present.
+        """
+        l1, l2 = trie_depth, bloom_prefix_len
+        self._validate_layers(l1, l2)
+        if not self.empty_queries:
+            return 0.0
+        width = self.width
+        cap = self.max_probes
+        probe_fpr = self.bloom_probe_fpr(bloom_bits, l2) if l2 else 0.0
+        trie_prefixes = self.prefixes(l1) if l1 else None
+        total = 0.0
+        for lo, hi, lcp in self.empty_queries:
+            i = j = 0
+            if trie_prefixes is not None:
+                shift1 = width - l1
+                i = bisect_left(trie_prefixes, lo >> shift1)
+                j = bisect_right(trie_prefixes, hi >> shift1, lo=i)
+                if i == j:
+                    continue  # trie gate rejects: no stored l1-prefix in Q_l1
+            if l2 == 0 or lcp >= l2:
+                total += 1.0
+                continue
+            shift2 = width - l2
+            plo, phi = lo >> shift2, hi >> shift2
+            num_slots = phi - plo + 1
+            if num_slots > cap:
+                total += 1.0  # the filter gives up and answers True
+                continue
+            if trie_prefixes is None:
+                probes = num_slots
+            else:
+                # Only l2-prefixes under a stored l1-prefix are probed.
+                gap = l2 - l1
+                probes = 0
+                for index in range(i, j):
+                    child_lo = trie_prefixes[index] << gap
+                    child_hi = child_lo + (1 << gap) - 1
+                    probes += min(phi, child_hi) - max(plo, child_lo) + 1
+            total += 1.0 - (1.0 - probe_fpr) ** probes
+        return total / len(self.empty_queries)
+
+    def one_pbf_fpr(self, bloom_prefix_len: int, bloom_bits: int) -> float:
+        """Expected FPR of a single-layer prefix Bloom filter (1PBF)."""
+        return self.proteus_fpr(0, bloom_prefix_len, bloom_bits)
+
+    def two_pbf_fpr(
+        self,
+        first_prefix_len: int,
+        second_prefix_len: int,
+        first_bits: int,
+        second_bits: int,
+    ) -> float:
+        """Expected FPR of a two-layer prefix Bloom filter (2PBF).
+
+        The layers use independent hash seeds, so on a query that neither
+        layer certainly accepts the two false-positive events multiply.
+        """
+        l1, l2 = first_prefix_len, second_prefix_len
+        if not 0 < l1 < l2 <= self.width:
+            raise ValueError(f"need 0 < l1 < l2 <= width, got ({l1}, {l2})")
+        if not self.empty_queries:
+            return 0.0
+        width = self.width
+        cap = self.max_probes
+        p1 = self.bloom_probe_fpr(first_bits, l1)
+        p2 = self.bloom_probe_fpr(second_bits, l2)
+        shift1, shift2 = width - l1, width - l2
+        total = 0.0
+        for lo, hi, lcp in self.empty_queries:
+            if lcp >= l1:
+                pass_first = 1.0
+            else:
+                n1 = (hi >> shift1) - (lo >> shift1) + 1
+                pass_first = 1.0 if n1 > cap else 1.0 - (1.0 - p1) ** n1
+            if lcp >= l2:
+                pass_second = 1.0
+            else:
+                n2 = (hi >> shift2) - (lo >> shift2) + 1
+                pass_second = 1.0 if n2 > cap else 1.0 - (1.0 - p2) ** n2
+            total += pass_first * pass_second
+        return total / len(self.empty_queries)
+
+    def _validate_layers(self, trie_depth: int, bloom_prefix_len: int) -> None:
+        if not 0 <= trie_depth <= self.width:
+            raise ValueError(f"trie depth {trie_depth} outside [0, {self.width}]")
+        if not 0 <= bloom_prefix_len <= self.width:
+            raise ValueError(
+                f"Bloom prefix length {bloom_prefix_len} outside [0, {self.width}]"
+            )
+        if bloom_prefix_len and trie_depth >= bloom_prefix_len:
+            raise ValueError(
+                f"trie depth {trie_depth} must be shorter than the Bloom prefix "
+                f"length {bloom_prefix_len}"
+            )

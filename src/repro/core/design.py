@@ -1,0 +1,144 @@
+"""Algorithm 1: enumerate candidate designs and pick the CPFPR-minimal one.
+
+A *design* fixes the two prefix lengths of a protean filter — trie depth
+``l1`` and Bloom prefix length ``l2`` — plus the split of the bit budget
+between the layers.  Algorithm 1 walks the design space under a total bit
+budget, charging the trie layer its modelled succinct footprint
+(:func:`repro.trie.size_model.binary_trie_size_estimate`) and handing the
+remainder to the Bloom layer, and keeps the design with the smallest
+expected FPR under the CPFPR model.
+
+Two prunes keep the walk cheap, both exact (no optimal design is skipped):
+
+* **feasibility** — ``trieMem(l1)`` is non-decreasing in ``l1``, so the
+  ``l1`` loop stops at the first depth that no longer fits the budget;
+* **dominance** — every empty query with ``lcp(q, K) >= l2`` is a certain
+  false positive regardless of how many bits the Bloom layer gets, so
+  ``certain_fp_fraction(l2)`` lower-bounds the design's FPR; candidates
+  whose bound already meets the incumbent's FPR are skipped without
+  evaluating the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cpfpr import CPFPRModel
+from repro.trie.size_model import binary_trie_size_estimate
+
+#: A Bloom layer narrower than this is pointless; such candidates are skipped.
+MIN_BLOOM_BITS = 8
+
+#: Candidate budget splits between the two Bloom layers of a 2PBF.
+TWO_PBF_SPLITS = (0.25, 0.5, 0.75)
+
+
+@dataclass(frozen=True)
+class FilterDesign:
+    """One point of the protean design space, with its predicted FPR.
+
+    ``trie_depth == 0`` means no trie layer; ``bloom_prefix_len == 0`` means
+    no (second) Bloom layer.  For 2PBF designs ``trie_depth``/``trie_bits``
+    describe the *first Bloom layer* instead of a trie — ``kind`` says which.
+    """
+
+    kind: str  # "proteus" | "1pbf" | "2pbf"
+    trie_depth: int
+    bloom_prefix_len: int
+    trie_bits: int
+    bloom_bits: int
+    expected_fpr: float
+
+    def total_bits(self) -> int:
+        return self.trie_bits + self.bloom_bits
+
+
+def design_proteus(model: CPFPRModel, total_bits: int) -> FilterDesign:
+    """Run Algorithm 1 over the full trie + Bloom design space."""
+    if total_bits <= 0:
+        raise ValueError("the bit budget must be positive")
+    width = model.width
+    if not model.empty_queries:
+        # No empty sample query carries any signal; default to the finest
+        # Bloom-only design, which maximises discrimination for point lookups.
+        return FilterDesign("proteus", 0, width, 0, total_bits, 0.0)
+    best: FilterDesign | None = None
+    for trie_depth in range(width + 1):
+        trie_bits = binary_trie_size_estimate(model.prefix_counts, trie_depth)
+        if trie_depth > 0 and trie_bits > total_bits:
+            break  # trieMem is non-decreasing in the depth: nothing deeper fits
+        bloom_budget = total_bits - trie_bits
+        # Trie-only candidate (l2 = 0): deterministic, certain_fp_fraction(l1).
+        trie_only_fpr = model.certain_fp_fraction(trie_depth)
+        if best is None or trie_only_fpr < best.expected_fpr:
+            best = FilterDesign(
+                "proteus", trie_depth, 0, trie_bits, 0, trie_only_fpr
+            )
+        if bloom_budget < MIN_BLOOM_BITS:
+            continue
+        for bloom_len in range(trie_depth + 1, width + 1):
+            if model.certain_fp_fraction(bloom_len) >= best.expected_fpr:
+                continue  # dominated: the certain-FP floor alone is no better
+            fpr = model.proteus_fpr(trie_depth, bloom_len, bloom_budget)
+            if fpr < best.expected_fpr:
+                best = FilterDesign(
+                    "proteus", trie_depth, bloom_len, trie_bits, bloom_budget, fpr
+                )
+    assert best is not None
+    return best
+
+
+def design_one_pbf(model: CPFPRModel, total_bits: int) -> FilterDesign:
+    """Algorithm 1 restricted to single-Bloom-layer (1PBF) designs."""
+    if total_bits <= 0:
+        raise ValueError("the bit budget must be positive")
+    width = model.width
+    if not model.empty_queries:
+        return FilterDesign("1pbf", 0, width, 0, total_bits, 0.0)
+    best: FilterDesign | None = None
+    for bloom_len in range(1, width + 1):
+        if best is not None and model.certain_fp_fraction(bloom_len) >= best.expected_fpr:
+            continue
+        fpr = model.one_pbf_fpr(bloom_len, total_bits)
+        if best is None or fpr < best.expected_fpr:
+            best = FilterDesign("1pbf", 0, bloom_len, 0, total_bits, fpr)
+    assert best is not None
+    return best
+
+
+def design_two_pbf(model: CPFPRModel, total_bits: int) -> FilterDesign:
+    """Algorithm 1 restricted to two-Bloom-layer (2PBF) designs."""
+    if total_bits <= 0:
+        raise ValueError("the bit budget must be positive")
+    width = model.width
+    if not model.empty_queries:
+        return FilterDesign(
+            "2pbf",
+            1,
+            width,
+            max(1, total_bits // 2),
+            max(1, total_bits - total_bits // 2),
+            0.0,
+        )
+    best: FilterDesign | None = None
+    for first_len in range(1, width):
+        for second_len in range(first_len + 1, width + 1):
+            if (
+                best is not None
+                and model.certain_fp_fraction(second_len) >= best.expected_fpr
+            ):
+                continue
+            for split in TWO_PBF_SPLITS:
+                first_bits = int(total_bits * split)
+                second_bits = total_bits - first_bits
+                if first_bits < MIN_BLOOM_BITS or second_bits < MIN_BLOOM_BITS:
+                    continue
+                fpr = model.two_pbf_fpr(first_len, second_len, first_bits, second_bits)
+                if best is None or fpr < best.expected_fpr:
+                    best = FilterDesign(
+                        "2pbf", first_len, second_len, first_bits, second_bits, fpr
+                    )
+    if best is None:
+        # Budget too small for two layers: fall back to the finest 1PBF shape.
+        return design_one_pbf(model, total_bits)
+    return best

@@ -1,0 +1,203 @@
+"""Protean range filters: 1PBF and 2PBF (Section 4 of the paper).
+
+A *protean* filter is an ordinary prefix-Bloom structure whose prefix
+lengths are not fixed a priori but chosen by Algorithm 1 from a sample of
+the query workload.  1PBF is a single prefix Bloom layer; 2PBF stacks two
+layers with independent seeds — a coarse one that rejects wide misses
+cheaply and a fine one that discriminates near-miss queries — and answers
+positively only when *both* layers do.  Proteus (in
+:mod:`repro.core.proteus`) replaces the coarse Bloom layer with a trie,
+completing the design space.
+
+Both classes can be constructed directly from an explicit design point, or
+self-designed via :meth:`~OnePBF.build` /`` TwoPBF.build`` which runs the
+CPFPR model + Algorithm 1 first.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.cpfpr import DEFAULT_MAX_PROBES, CPFPRModel
+from repro.core.design import FilterDesign, design_one_pbf, design_two_pbf
+from repro.filters.base import RangeFilter
+from repro.filters.prefix_bloom import PrefixBloomFilter
+from repro.keys.keyspace import IntegerKeySpace, KeySpace, sorted_distinct_keys
+
+
+def prepare_workload(
+    keys: Sequence,
+    sample_queries: Iterable[tuple],
+    key_space: KeySpace | None,
+    bits_per_key: float,
+) -> tuple[KeySpace, list[int], list[tuple[int, int]], int]:
+    """Encode a raw workload into a shared key space, shared by every builder.
+
+    Returns ``(space, encoded_keys, encoded_queries, total_bits)`` where the
+    bit budget is ``bits_per_key`` times the number of *distinct* keys.
+    """
+    space = key_space if key_space is not None else IntegerKeySpace(64)
+    encoded_keys = space.encode_many(keys)
+    encoded_queries = [
+        (space.encode(lo), space.encode(hi)) for lo, hi in sample_queries
+    ]
+    total_bits = max(1, int(bits_per_key * len(set(encoded_keys))))
+    return space, encoded_keys, encoded_queries, total_bits
+
+
+class OnePBF(PrefixBloomFilter):
+    """A one-layer protean Bloom filter: a PrefixBloomFilter that chose its
+    own prefix length."""
+
+    #: The design point Algorithm 1 selected (None when constructed directly).
+    design: FilterDesign | None = None
+
+    @classmethod
+    def build(
+        cls,
+        keys: Sequence,
+        sample_queries: Iterable[tuple],
+        bits_per_key: float = 16.0,
+        key_space: KeySpace | None = None,
+        max_probes: int = DEFAULT_MAX_PROBES,
+        seed: int = 0,
+    ) -> "OnePBF":
+        """Self-design over a query sample and instantiate the chosen 1PBF."""
+        space, encoded_keys, encoded_queries, total_bits = prepare_workload(
+            keys, sample_queries, key_space, bits_per_key
+        )
+        model = CPFPRModel(encoded_keys, space.width, encoded_queries, max_probes)
+        design = design_one_pbf(model, total_bits)
+        instance = cls(
+            encoded_keys,
+            space.width,
+            design.bloom_prefix_len,
+            design.bloom_bits,
+            max_probes=max_probes,
+            seed=seed,
+        )
+        instance.design = design
+        instance.key_space = space
+        return instance
+
+    @property
+    def expected_fpr(self) -> float:
+        """CPFPR prediction for the chosen design (requires :meth:`build`)."""
+        if self.design is None:
+            raise AttributeError("expected_fpr is only available on built filters")
+        return self.design.expected_fpr
+
+    def may_contain(self, key) -> bool:
+        return super().may_contain(self._encode(key))
+
+    def may_intersect(self, lo, hi) -> bool:
+        return super().may_intersect(self._encode(lo), self._encode(hi))
+
+
+class TwoPBF(RangeFilter):
+    """A two-layer protean Bloom filter with independent per-layer seeds."""
+
+    design: FilterDesign | None = None
+
+    def __init__(
+        self,
+        keys: Iterable[int],
+        width: int,
+        first_prefix_len: int,
+        second_prefix_len: int,
+        first_bits: int,
+        second_bits: int,
+        max_probes: int = DEFAULT_MAX_PROBES,
+        seed: int = 0,
+    ):
+        if not 0 < first_prefix_len < second_prefix_len <= width:
+            raise ValueError(
+                f"need 0 < l1 < l2 <= width, got "
+                f"({first_prefix_len}, {second_prefix_len})"
+            )
+        self.width = width
+        distinct_keys = sorted_distinct_keys(keys, width)
+        self.num_keys = len(distinct_keys)
+        self._first = PrefixBloomFilter(
+            distinct_keys, width, first_prefix_len, first_bits,
+            max_probes=max_probes, seed=seed,
+        )
+        self._second = PrefixBloomFilter(
+            distinct_keys, width, second_prefix_len, second_bits,
+            max_probes=max_probes, seed=seed ^ 0x5DEECE66D,
+        )
+
+    @classmethod
+    def build(
+        cls,
+        keys: Sequence,
+        sample_queries: Iterable[tuple],
+        bits_per_key: float = 16.0,
+        key_space: KeySpace | None = None,
+        max_probes: int = DEFAULT_MAX_PROBES,
+        seed: int = 0,
+    ) -> "TwoPBF":
+        """Self-design over a query sample and instantiate the chosen 2PBF."""
+        space, encoded_keys, encoded_queries, total_bits = prepare_workload(
+            keys, sample_queries, key_space, bits_per_key
+        )
+        if space.width < 2:
+            raise ValueError("a 2PBF needs a key space of at least 2 bits")
+        model = CPFPRModel(encoded_keys, space.width, encoded_queries, max_probes)
+        design = design_two_pbf(model, total_bits)
+        if design.kind == "1pbf":
+            # Budget admitted only one layer: widen it into a degenerate 2PBF
+            # by splitting off a minimal coarse layer just above the root.
+            # Each layer needs at least one bit, and the CPFPR prediction is
+            # re-evaluated at the synthesized design point — the 1PBF figure
+            # describes a different structure.
+            second_len = min(space.width, max(design.bloom_prefix_len, 2))
+            first_len = second_len // 2
+            first_bits = max(1, design.bloom_bits // 2)
+            second_bits = max(1, design.bloom_bits - design.bloom_bits // 2)
+            design = FilterDesign(
+                "2pbf",
+                first_len,
+                second_len,
+                first_bits,
+                second_bits,
+                model.two_pbf_fpr(first_len, second_len, first_bits, second_bits),
+            )
+        instance = cls(
+            encoded_keys,
+            space.width,
+            design.trie_depth,
+            design.bloom_prefix_len,
+            design.trie_bits,
+            design.bloom_bits,
+            max_probes=max_probes,
+            seed=seed,
+        )
+        instance.design = design
+        instance.key_space = space
+        return instance
+
+    @property
+    def expected_fpr(self) -> float:
+        """CPFPR prediction for the chosen design (requires :meth:`build`)."""
+        if self.design is None:
+            raise AttributeError("expected_fpr is only available on built filters")
+        return self.design.expected_fpr
+
+    def may_contain(self, key) -> bool:
+        encoded = self._encode(key)
+        return self._first.may_contain(encoded) and self._second.may_contain(encoded)
+
+    def may_intersect(self, lo, hi) -> bool:
+        lo, hi = self._encode(lo), self._encode(hi)
+        self._check_range(lo, hi)
+        return self._first.may_intersect(lo, hi) and self._second.may_intersect(lo, hi)
+
+    def size_in_bits(self) -> int:
+        return self._first.size_in_bits() + self._second.size_in_bits()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TwoPBF(l1={self._first.prefix_len}, l2={self._second.prefix_len}, "
+            f"keys={self.num_keys})"
+        )

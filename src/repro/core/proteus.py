@@ -1,0 +1,151 @@
+"""Proteus: the self-designing trie + Bloom hybrid range filter.
+
+The paper's headline structure.  :meth:`Proteus.build` samples the query
+workload, evaluates the CPFPR model over the full (trie depth ``l1``, Bloom
+prefix length ``l2``) design space under a bits-per-key budget (Algorithm 1),
+and instantiates the winning hybrid:
+
+* a uniform-depth trie holding every distinct ``l1``-bit key prefix — here a
+  :class:`~repro.trie.sorted_index.SortedPrefixIndex` whose footprint is
+  charged at the modelled succinct size
+  (:func:`repro.trie.size_model.binary_trie_size_estimate`), and
+* a Bloom filter over the distinct ``l2``-bit key prefixes, holding the rest
+  of the budget.
+
+A range query first consults the trie; only the ``l2``-prefixes of the query
+interval that extend a *stored* ``l1``-prefix are probed in the Bloom filter
+(prefixes under an absent ``l1``-prefix cannot contain a key, so skipping
+them is exact).  Queries spanning more than ``max_probes`` ``l2``-prefixes
+return a conservative ``True``.  Every positive produced this way either
+reflects a real key prefix or a Bloom/trie over-approximation — never a
+dropped key — so the filter has **zero false negatives** by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.amq.bloom import BloomFilter
+from repro.core.cpfpr import DEFAULT_MAX_PROBES, CPFPRModel
+from repro.core.design import FilterDesign, design_proteus
+from repro.core.prf import prepare_workload
+from repro.filters.base import RangeFilter
+from repro.keys.keyspace import KeySpace, sorted_distinct_keys
+from repro.trie.sorted_index import SortedPrefixIndex
+
+
+class Proteus(RangeFilter):
+    """The self-designing range filter (trie layer + Bloom layer)."""
+
+    def __init__(
+        self,
+        keys: Iterable[int],
+        width: int,
+        design: FilterDesign,
+        max_probes: int = DEFAULT_MAX_PROBES,
+        seed: int = 0,
+    ):
+        if design.bloom_prefix_len and design.trie_depth >= design.bloom_prefix_len:
+            raise ValueError(
+                f"trie depth {design.trie_depth} must be shorter than the Bloom "
+                f"prefix length {design.bloom_prefix_len}"
+            )
+        if max_probes < 1:
+            raise ValueError("max_probes must be at least 1")
+        self.width = width
+        self.design = design
+        self.max_probes = max_probes
+        distinct_keys = sorted_distinct_keys(keys, width)
+        self.num_keys = len(distinct_keys)
+        l1, l2 = design.trie_depth, design.bloom_prefix_len
+        self._trie: SortedPrefixIndex | None = None
+        if l1 > 0:
+            self._trie = SortedPrefixIndex.from_keys(distinct_keys, l1, width)
+        self._bloom: BloomFilter | None = None
+        if l2 > 0:
+            shift = width - l2
+            prefixes = {key >> shift for key in distinct_keys}
+            self._bloom = BloomFilter(
+                max(1, design.bloom_bits), max(1, len(prefixes)), seed=seed
+            )
+            self._bloom.add_many(prefixes)
+
+    @classmethod
+    def build(
+        cls,
+        keys: Sequence,
+        sample_queries: Iterable[tuple],
+        bits_per_key: float = 16.0,
+        key_space: KeySpace | None = None,
+        max_probes: int = DEFAULT_MAX_PROBES,
+        seed: int = 0,
+    ) -> "Proteus":
+        """Sample queries → CPFPR model → Algorithm 1 → instantiate the winner.
+
+        ``keys`` are raw keys for ``key_space`` (defaults to 64-bit
+        integers); ``sample_queries`` is an iterable of inclusive ``(lo,
+        hi)`` pairs in the same raw domain — use ``(k, k)`` for a point
+        query.  ``bits_per_key`` bounds the total filter footprint.
+        """
+        space, encoded_keys, encoded_queries, total_bits = prepare_workload(
+            keys, sample_queries, key_space, bits_per_key
+        )
+        model = CPFPRModel(encoded_keys, space.width, encoded_queries, max_probes)
+        design = design_proteus(model, total_bits)
+        instance = cls(encoded_keys, space.width, design, max_probes=max_probes, seed=seed)
+        instance.key_space = space
+        return instance
+
+    @property
+    def expected_fpr(self) -> float:
+        """The CPFPR model's prediction for the instantiated design."""
+        return self.design.expected_fpr
+
+    def may_contain(self, key) -> bool:
+        if self.num_keys == 0:
+            return False
+        encoded = self._encode(key)
+        if self._trie is not None and not self._trie.contains_prefix_of(encoded):
+            return False
+        if self._bloom is not None:
+            l2 = self.design.bloom_prefix_len
+            return self._bloom.contains(encoded >> (self.width - l2))
+        return True
+
+    def may_intersect(self, lo, hi) -> bool:
+        lo, hi = self._encode(lo), self._encode(hi)
+        self._check_range(lo, hi)
+        if self.num_keys == 0:
+            return False
+        trie = self._trie
+        if trie is not None and not trie.overlaps(lo, hi):
+            return False
+        bloom = self._bloom
+        if bloom is None:
+            return True
+        l1, l2 = self.design.trie_depth, self.design.bloom_prefix_len
+        shift = self.width - l2
+        plo, phi = lo >> shift, hi >> shift
+        if phi - plo + 1 > self.max_probes:
+            return True  # probe clamp: conservative positive (modelled as such)
+        gap = l2 - l1
+        for prefix in range(plo, phi + 1):
+            if trie is not None and not trie.contains(prefix >> gap):
+                continue  # no key below this l1-prefix: skipping is exact
+            if bloom.contains(prefix):
+                return True
+        return False
+
+    def size_in_bits(self) -> int:
+        """Modelled trie footprint + actual Bloom bits (paper accounting)."""
+        total = self.design.trie_bits if self._trie is not None else 0
+        if self._bloom is not None:
+            total += self._bloom.size_in_bits()
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Proteus(l1={self.design.trie_depth}, l2={self.design.bloom_prefix_len}, "
+            f"keys={self.num_keys}, bits={self.size_in_bits()}, "
+            f"expected_fpr={self.design.expected_fpr:.4g})"
+        )

@@ -1,0 +1,32 @@
+"""Range filters: the common interface and the paper's fixed baselines.
+
+* :class:`~repro.filters.base.RangeFilter` — the interface every filter in
+  this repository implements (``may_contain`` / ``may_intersect``, both with
+  zero false negatives, plus size accounting).
+* :class:`~repro.filters.base.TrieOracle` — the exact ground truth used by
+  the randomized test-suite.
+* :class:`~repro.filters.prefix_bloom.PrefixBloomFilter` — fixed-prefix
+  Bloom range filter.
+* :class:`~repro.filters.surf.SuRF` — SuRF-Base, the trie-only baseline.
+* :class:`~repro.filters.rosetta.Rosetta` — per-level Bloom filters with
+  dyadic range decomposition.
+
+The self-designing filters (1PBF, 2PBF, Proteus) live in :mod:`repro.core`:
+they are these same trie/Bloom ingredients with the design point chosen by
+the CPFPR model and Algorithm 1.
+"""
+
+from repro.filters.base import RangeFilter, TrieOracle, key_to_bytes
+from repro.filters.prefix_bloom import PrefixBloomFilter
+from repro.filters.rosetta import Rosetta, dyadic_intervals
+from repro.filters.surf import SuRF
+
+__all__ = [
+    "RangeFilter",
+    "TrieOracle",
+    "key_to_bytes",
+    "PrefixBloomFilter",
+    "SuRF",
+    "Rosetta",
+    "dyadic_intervals",
+]

@@ -1,0 +1,118 @@
+"""The range-filter interface and the exact ground-truth oracle.
+
+Every filter in :mod:`repro.filters` and :mod:`repro.core` implements
+:class:`RangeFilter`: an immutable structure built over a set of keys
+(``width``-bit unsigned integers, see :mod:`repro.keys`) that answers
+
+* ``may_contain(key)`` — point-membership, and
+* ``may_intersect(lo, hi)`` — does the inclusive range ``[lo, hi]`` contain
+  a key?
+
+with *no false negatives*: a ``False`` answer is definite, a ``True`` answer
+may be wrong with some false positive rate.  :class:`TrieOracle` is the one
+filter with a zero false positive rate — it stores the full key set in a
+:class:`~repro.trie.node_trie.ByteTrie` — and serves as the ground truth the
+randomized test-suite checks every probabilistic filter against.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Optional
+
+from repro.keys.keyspace import sorted_distinct_keys
+from repro.trie.node_trie import ByteTrie
+
+
+def key_to_bytes(key: int, width: int) -> bytes:
+    """Render a ``width``-bit key as big-endian bytes (MSB-padded to bytes).
+
+    Padding the *top* of the integer to a whole number of bytes preserves
+    both ordering and prefix structure, so byte-granular tries remain exact
+    for widths that are not byte multiples.
+    """
+    num_bytes = (width + 7) // 8
+    return key.to_bytes(num_bytes, "big")
+
+
+class RangeFilter(ABC):
+    """An approximate range-membership structure with no false negatives."""
+
+    #: Number of bits in the integer view of a key.
+    width: int
+    #: Number of distinct keys the filter was built over.
+    num_keys: int
+    #: Optional :class:`~repro.keys.keyspace.KeySpace` set by self-designing
+    #: builders; when present, raw-domain queries are encoded through it.
+    key_space = None
+
+    def _encode(self, key) -> int:
+        return self.key_space.encode(key) if self.key_space is not None else key
+
+    @abstractmethod
+    def may_contain(self, key: int) -> bool:
+        """Return False only if ``key`` is definitely not in the key set."""
+
+    @abstractmethod
+    def may_intersect(self, lo: int, hi: int) -> bool:
+        """Return False only if ``[lo, hi]`` definitely contains no key."""
+
+    @abstractmethod
+    def size_in_bits(self) -> int:
+        """Return the filter's payload footprint in bits."""
+
+    def bits_per_key(self) -> float:
+        """Return the payload footprint divided by the number of keys."""
+        return self.size_in_bits() / self.num_keys if self.num_keys else 0.0
+
+    def _check_range(self, lo: int, hi: int) -> None:
+        if lo > hi:
+            raise ValueError(f"empty query range [{lo}, {hi}]")
+        if lo < 0 or hi >= (1 << self.width):
+            raise ValueError(
+                f"query range [{lo}, {hi}] outside the {self.width}-bit key space"
+            )
+
+    def __contains__(self, key: int) -> bool:
+        return self.may_contain(key)
+
+
+class TrieOracle(RangeFilter):
+    """Exact range filter: zero false positives *and* zero false negatives.
+
+    Stores every key, unabridged, in a byte trie.  Its answers define
+    correctness for every other filter: ``other.may_*`` must be ``True``
+    whenever the oracle's is.
+    """
+
+    def __init__(self, keys: Iterable[int], width: int):
+        if width <= 0:
+            raise ValueError("key width must be positive")
+        self.width = width
+        encoded = sorted_distinct_keys(keys, width)
+        self.num_keys = len(encoded)
+        self._trie = ByteTrie(key_to_bytes(key, width) for key in encoded)
+
+    def may_contain(self, key: int) -> bool:
+        if self.num_keys == 0:
+            return False
+        return self._trie.match_prefix_of(key_to_bytes(key, self.width)) is not None
+
+    def may_intersect(self, lo: int, hi: int) -> bool:
+        self._check_range(lo, hi)
+        if self.num_keys == 0:
+            return False
+        return self._trie.range_overlaps(
+            key_to_bytes(lo, self.width), key_to_bytes(hi, self.width)
+        )
+
+    def match(self, key: int) -> Optional[bytes]:
+        """Return the stored byte string matching ``key``, if any."""
+        return self._trie.match_prefix_of(key_to_bytes(key, self.width))
+
+    def size_in_bits(self) -> int:
+        # The oracle stores every key verbatim; charge the raw key bits.
+        return self.num_keys * self.width
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TrieOracle(keys={self.num_keys}, width={self.width})"

@@ -1,0 +1,81 @@
+"""Fixed-prefix-length prefix Bloom filter.
+
+The simplest range-filter design the paper considers (Section 2): hash the
+``prefix_len``-bit prefix of every key into a Bloom filter.  A point query
+probes one prefix; a range query probes every ``prefix_len``-prefix that
+intersects the range (the ``Q_l`` set of the CPFPR model).  When a range
+spans more prefixes than ``max_probes`` the filter gives up and returns
+``True`` — returning a conservative positive is always safe, and the CPFPR
+model accounts for exactly this clamp.
+
+With ``prefix_len`` fixed a priori this filter is workload-oblivious; the
+protean filters in :mod:`repro.core` are this same structure with the prefix
+length *chosen* by Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.amq.bloom import BloomFilter
+from repro.filters.base import RangeFilter
+from repro.keys.keyspace import sorted_distinct_keys
+from repro.keys.prefix import prefix_of, prefix_range
+
+#: Default clamp on Bloom probes per range query (mirrored by the CPFPR model).
+DEFAULT_MAX_PROBES = 64
+
+
+class PrefixBloomFilter(RangeFilter):
+    """A Bloom filter over the ``prefix_len``-bit prefixes of the key set."""
+
+    def __init__(
+        self,
+        keys: Iterable[int],
+        width: int,
+        prefix_len: int,
+        num_bits: int,
+        max_probes: int = DEFAULT_MAX_PROBES,
+        seed: int = 0,
+    ):
+        if not 0 < prefix_len <= width:
+            raise ValueError(f"prefix length {prefix_len} outside [1, {width}]")
+        if max_probes < 1:
+            raise ValueError("max_probes must be at least 1")
+        self.width = width
+        self.prefix_len = prefix_len
+        self.max_probes = max_probes
+        distinct_keys = sorted_distinct_keys(keys, width)
+        self.num_keys = len(distinct_keys)
+        prefixes = {key >> (width - prefix_len) for key in distinct_keys}
+        self.num_prefixes = len(prefixes)
+        self._bloom = BloomFilter(num_bits, max(1, self.num_prefixes), seed=seed)
+        self._bloom.add_many(prefixes)
+
+    def may_contain(self, key: int) -> bool:
+        if self.num_keys == 0:
+            return False
+        return self._bloom.contains(prefix_of(key, self.prefix_len, self.width))
+
+    def may_intersect(self, lo: int, hi: int) -> bool:
+        self._check_range(lo, hi)
+        if self.num_keys == 0:
+            return False
+        plo, phi = prefix_range(lo, hi, self.prefix_len, self.width)
+        if phi - plo + 1 > self.max_probes:
+            return True
+        bloom = self._bloom
+        return any(bloom.contains(prefix) for prefix in range(plo, phi + 1))
+
+    def size_in_bits(self) -> int:
+        return self._bloom.size_in_bits()
+
+    def theoretical_probe_fpr(self) -> float:
+        """Return the analytic single-probe FPR of the underlying Bloom filter."""
+        return self._bloom.theoretical_fpr()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PrefixBloomFilter(prefix_len={self.prefix_len}, "
+            f"bits={self._bloom.num_bits}, keys={self.num_keys})"
+        )

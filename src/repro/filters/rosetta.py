@@ -1,0 +1,143 @@
+"""Rosetta: per-level Bloom filters with dyadic range decomposition.
+
+Rosetta (Luo et al., SIGMOD 2020) is the Bloom-only baseline Proteus is
+measured against.  It keeps one Bloom filter per prefix length ("level"):
+level ``l`` stores every distinct ``l``-bit prefix of the key set.  A range
+query is decomposed into maximal dyadic intervals — each exactly the span of
+one prefix — and each dyadic prefix is resolved by *doubting*: probe it at
+its own level, and on a positive recursively probe both children until the
+bottom level confirms.  A ``False`` is only ever produced by a Bloom
+negative, so the structure inherits the Bloom filters' no-false-negative
+guarantee.
+
+Two practical deviations from the ideal structure, both conservative:
+
+* only the bottom ``num_levels`` levels carry Bloom filters (the top of a
+  64-level hierarchy is nearly free of information); dyadic prefixes above
+  the first filtered level recurse unprobed, and
+* the total number of Bloom probes per query is clamped at ``max_probes``;
+  on exhaustion the query returns ``True``.
+
+The per-level bit budget is split proportionally to the number of distinct
+prefixes stored at each level, which approximates the paper's optimised
+allocation (deeper levels hold more distinct prefixes and receive more
+memory).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.amq.bloom import BloomFilter
+from repro.filters.base import RangeFilter
+from repro.keys.keyspace import sorted_distinct_keys
+from repro.keys.lcp import unique_prefix_counts
+
+#: Probe budget per range query; exceeding it returns a conservative positive.
+DEFAULT_MAX_PROBES = 256
+
+
+def dyadic_intervals(lo: int, hi: int, width: int) -> Iterator[tuple[int, int]]:
+    """Decompose ``[lo, hi]`` into maximal dyadic intervals.
+
+    Yields ``(prefix, level)`` pairs: each interval is exactly the key span
+    of ``prefix`` at ``level`` bits.  At most ``2 * width`` pairs are
+    produced for any range.
+    """
+    if lo > hi:
+        raise ValueError(f"empty query range [{lo}, {hi}]")
+    position = lo
+    while position <= hi:
+        # Largest power-of-two block aligned at `position`...
+        size = position & -position if position > 0 else 1 << width
+        # ...shrunk until it fits inside the remaining range.
+        while position + size - 1 > hi:
+            size >>= 1
+        level = width - size.bit_length() + 1
+        yield position >> (width - level), level
+        position += size
+
+
+class Rosetta(RangeFilter):
+    """A hierarchy of per-level prefix Bloom filters."""
+
+    def __init__(
+        self,
+        keys: Iterable[int],
+        width: int,
+        total_bits: int,
+        num_levels: int | None = None,
+        max_probes: int = DEFAULT_MAX_PROBES,
+        seed: int = 0,
+    ):
+        if width <= 0:
+            raise ValueError("key width must be positive")
+        if total_bits <= 0:
+            raise ValueError("a Rosetta filter needs a positive bit budget")
+        if num_levels is None:
+            num_levels = width
+        if not 1 <= num_levels <= width:
+            raise ValueError(f"level count {num_levels} outside [1, {width}]")
+        if max_probes < 1:
+            raise ValueError("max_probes must be at least 1")
+        self.width = width
+        self.max_probes = max_probes
+        self.first_level = width - num_levels + 1
+        sorted_keys = sorted_distinct_keys(keys, width)
+        self.num_keys = len(sorted_keys)
+        counts = unique_prefix_counts(sorted_keys, width)
+        levels = range(self.first_level, width + 1)
+        weight_total = sum(counts[level] for level in levels) or 1
+        self._blooms: dict[int, BloomFilter] = {}
+        for level in levels:
+            # Each level needs at least one bit; with a budget smaller than
+            # the level count the build can therefore overshoot total_bits —
+            # size_in_bits() is the authoritative footprint, not the request.
+            level_bits = max(1, total_bits * counts[level] // weight_total)
+            bloom = BloomFilter(level_bits, max(1, counts[level]), seed=seed + level)
+            shift = width - level
+            bloom.add_many({key >> shift for key in sorted_keys})
+            self._blooms[level] = bloom
+
+    def may_contain(self, key: int) -> bool:
+        if self.num_keys == 0:
+            return False
+        return self._blooms[self.width].contains(key)
+
+    def may_intersect(self, lo: int, hi: int) -> bool:
+        self._check_range(lo, hi)
+        if self.num_keys == 0:
+            return False
+        budget = self.max_probes
+        for prefix, level in dyadic_intervals(lo, hi, self.width):
+            # _doubt answers True (conservative) when invoked with an
+            # exhausted budget, so a definitive False with exactly zero
+            # budget left is still a trustworthy negative.
+            positive, budget = self._doubt(prefix, level, budget)
+            if positive:
+                return True
+        return False
+
+    def _doubt(self, prefix: int, level: int, budget: int) -> tuple[bool, int]:
+        """Resolve a dyadic prefix: (may contain a key, remaining budget)."""
+        if budget <= 0:
+            return True, 0
+        if level >= self.first_level:
+            budget -= 1
+            if not self._blooms[level].contains(prefix):
+                return False, budget
+        if level == self.width:
+            return True, budget
+        positive, budget = self._doubt(prefix << 1, level + 1, budget)
+        if positive:
+            return True, budget
+        return self._doubt((prefix << 1) | 1, level + 1, budget)
+
+    def size_in_bits(self) -> int:
+        return sum(bloom.size_in_bits() for bloom in self._blooms.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Rosetta(keys={self.num_keys}, width={self.width}, "
+            f"levels={len(self._blooms)}, bits={self.size_in_bits()})"
+        )

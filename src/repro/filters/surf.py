@@ -1,0 +1,93 @@
+"""SuRF-Base on the byte-trie machinery.
+
+SuRF (Zhang et al., SIGMOD 2018) is the trie-only baseline Proteus is
+measured against.  SuRF-Base prunes each key's branch at its *minimum
+distinguishing prefix* — the shortest prefix no other key shares — and
+answers both point and range queries by trie traversal alone.  Because every
+stored prefix covers its key's full subtree, false negatives are impossible;
+false positives arise whenever a query hits a pruned subtree that contains
+no key.
+
+This implementation keeps the pruned trie in a pointer-based
+:class:`~repro.trie.node_trie.ByteTrie` (byte-granular depths: the
+distinguishing prefix lengths are rounded up to whole bytes) and reports the
+footprint its LOUDS-DS encoding *would* have via
+:func:`repro.trie.size_model.fst_size_estimate`, matching the paper's size
+accounting.
+
+``max_depth`` caps the trie depth in bytes — the knob the paper turns to
+trade SuRF's memory against its FPR.  Prefixes truncated by the cap may
+collide across keys; the trie's prefix-free insertion handles that by
+keeping the shorter (covering) prefix, which preserves zero false negatives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.filters.base import RangeFilter, key_to_bytes
+from repro.keys.keyspace import sorted_distinct_keys
+from repro.keys.lcp import min_distinguishing_prefix_lengths
+from repro.trie.node_trie import ByteTrie
+from repro.trie.size_model import fst_size_estimate
+
+
+class SuRF(RangeFilter):
+    """SuRF-Base: a pruned trie of minimum distinguishing key prefixes."""
+
+    def __init__(
+        self,
+        keys: Iterable[int],
+        width: int,
+        max_depth: int | None = None,
+    ):
+        if width <= 0:
+            raise ValueError("key width must be positive")
+        self.width = width
+        num_bytes = (width + 7) // 8
+        if max_depth is None:
+            max_depth = num_bytes
+        if not 1 <= max_depth <= num_bytes:
+            raise ValueError(f"trie depth {max_depth} outside [1, {num_bytes}]")
+        self.max_depth = max_depth
+        sorted_keys = sorted_distinct_keys(keys, width)
+        self.num_keys = len(sorted_keys)
+        bit_lengths = min_distinguishing_prefix_lengths(sorted_keys, width)
+        # Keys are MSB-padded to whole bytes (key_to_bytes), so a prefix of
+        # `bits` key bits occupies padded-encoding bits [pad, pad + bits) and
+        # needs ceil((pad + bits) / 8) bytes — ignoring the pad would round
+        # distinct keys onto one coarser byte prefix for non-byte widths.
+        pad_bits = 8 * num_bytes - width
+        prefixes = set()
+        for key, bits in zip(sorted_keys, bit_lengths):
+            depth = min(max_depth, (pad_bits + bits + 7) // 8)
+            prefixes.add(key_to_bytes(key, width)[: max(1, depth)])
+        self._trie = ByteTrie(prefixes)
+
+    def may_contain(self, key: int) -> bool:
+        if self.num_keys == 0:
+            return False
+        return self._trie.match_prefix_of(key_to_bytes(key, self.width)) is not None
+
+    def may_intersect(self, lo: int, hi: int) -> bool:
+        self._check_range(lo, hi)
+        if self.num_keys == 0:
+            return False
+        return self._trie.range_overlaps(
+            key_to_bytes(lo, self.width), key_to_bytes(hi, self.width)
+        )
+
+    def trie_height(self) -> int:
+        """Return the pruned trie's height in bytes."""
+        return self._trie.height
+
+    def size_in_bits(self) -> int:
+        """Modelled LOUDS-DS footprint of the pruned trie (paper convention)."""
+        edges, internal_nodes = self._trie.level_counts()
+        return fst_size_estimate(edges, internal_nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SuRF(keys={self.num_keys}, width={self.width}, "
+            f"max_depth={self.max_depth}, height={self._trie.height})"
+        )

@@ -12,30 +12,44 @@ The :class:`~repro.keys.keyspace.KeySpace` classes encapsulate that mapping;
 CPFPR model.
 """
 
-from repro.keys.keyspace import IntegerKeySpace, KeySpace, StringKeySpace
+from repro.keys.keyspace import (
+    IntegerKeySpace,
+    KeySpace,
+    StringKeySpace,
+    sorted_distinct_keys,
+)
 from repro.keys.lcp import (
     adjacent_lcps,
     lcp_bits,
+    min_distinguishing_prefix_lengths,
     query_set_lcp,
     unique_prefix_counts,
 )
 from repro.keys.prefix import (
+    extend_prefix_max,
+    extend_prefix_min,
     prefix_of,
     prefix_range,
     prefix_range_count,
     prefix_to_range,
+    truncate_to_prefix,
 )
 
 __all__ = [
     "KeySpace",
     "IntegerKeySpace",
     "StringKeySpace",
+    "sorted_distinct_keys",
     "lcp_bits",
     "adjacent_lcps",
+    "min_distinguishing_prefix_lengths",
     "query_set_lcp",
     "unique_prefix_counts",
     "prefix_of",
     "prefix_range",
     "prefix_range_count",
     "prefix_to_range",
+    "truncate_to_prefix",
+    "extend_prefix_min",
+    "extend_prefix_max",
 ]

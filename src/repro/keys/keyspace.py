@@ -13,6 +13,18 @@ from abc import ABC, abstractmethod
 from typing import Iterable, Sequence
 
 
+def sorted_distinct_keys(keys: Iterable[int], width: int) -> list[int]:
+    """Sort, dedupe and bounds-check an encoded key set for a ``width``-bit space.
+
+    Every filter and model constructor funnels its key set through this one
+    helper so the validation cannot drift between implementations.
+    """
+    result = sorted({int(key) for key in keys})
+    if result and not 0 <= result[0] <= result[-1] < (1 << width):
+        raise ValueError(f"key outside the {width}-bit key space")
+    return result
+
+
 class KeySpace(ABC):
     """A totally ordered key domain viewed as ``width``-bit unsigned integers."""
 

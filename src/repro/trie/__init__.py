@@ -10,39 +10,59 @@ The package provides:
   O(1) rank and O(log n) select.
 * :class:`~repro.trie.node_trie.ByteTrie` — a pointer-based byte trie used as
   the builder input and as a correctness oracle in tests.
-* :class:`~repro.trie.louds_sparse.LoudsSparseTrie` and
-  :class:`~repro.trie.louds_dense.LoudsDenseTrie` — the two succinct
-  encodings.
-* :class:`~repro.trie.fst.FastSuccinctTrie` — the combined LOUDS-DS encoding
-  (dense levels on top of sparse levels) with prefix-membership and
-  range-overlap queries.
-* :class:`~repro.trie.sorted_index.SortedPrefixIndex` — a semantically
-  identical query engine backed by a sorted array of stored prefixes, used as
-  the fast path for large benchmarks (see DESIGN.md, substitution 6).
+* :class:`~repro.trie.sorted_index.SortedPrefixIndex` — a sorted-array query
+  engine for uniform-depth prefix sets; Proteus' trie layer.  The succinct
+  layouts are *modelled* (for size accounting), not materialised, in this
+  Python reproduction.
 * :mod:`~repro.trie.size_model` — the ``trieMem(l)`` estimator from
-  Algorithm 1 of the paper.
+  Algorithm 1 of the paper plus SuRF's LOUDS-DS size formulas.
+* :class:`~repro.trie.louds_sparse.LoudsSparseTrie`,
+  :class:`~repro.trie.louds_dense.LoudsDenseTrie` and
+  :class:`~repro.trie.fst.FastSuccinctTrie` — the physical succinct
+  encodings; not yet implemented.
+
+Re-exports resolve lazily (PEP 562): importing :mod:`repro.trie` never fails
+because one encoder is missing; only touching that encoder's name raises.
 """
 
-from repro.trie.bitvector import RankSelectBitVector
-from repro.trie.fst import FastSuccinctTrie
-from repro.trie.louds_dense import LoudsDenseTrie
-from repro.trie.louds_sparse import LoudsSparseTrie
-from repro.trie.node_trie import ByteTrie
-from repro.trie.sorted_index import SortedPrefixIndex
-from repro.trie.size_model import (
-    fst_size_estimate,
-    louds_dense_level_bits,
-    louds_sparse_level_bits,
-)
+from importlib import import_module
 
-__all__ = [
-    "RankSelectBitVector",
-    "ByteTrie",
-    "LoudsSparseTrie",
-    "LoudsDenseTrie",
-    "FastSuccinctTrie",
-    "SortedPrefixIndex",
-    "fst_size_estimate",
-    "louds_dense_level_bits",
-    "louds_sparse_level_bits",
-]
+_LAZY_EXPORTS = {
+    "RankSelectBitVector": "repro.trie.bitvector",
+    "ByteTrie": "repro.trie.node_trie",
+    "SortedPrefixIndex": "repro.trie.sorted_index",
+    "fst_size_estimate": "repro.trie.size_model",
+    "binary_trie_size_estimate": "repro.trie.size_model",
+    "louds_dense_level_bits": "repro.trie.size_model",
+    "louds_sparse_level_bits": "repro.trie.size_model",
+    # Physical succinct encodings: planned, not yet implemented.  Reserved
+    # here so attribute access raises a descriptive ImportError, but kept
+    # out of __all__ so `from repro.trie import *` only pulls working names.
+    "LoudsSparseTrie": "repro.trie.louds_sparse",
+    "LoudsDenseTrie": "repro.trie.louds_dense",
+    "FastSuccinctTrie": "repro.trie.fst",
+}
+
+_PLANNED = {"LoudsSparseTrie", "LoudsDenseTrie", "FastSuccinctTrie"}
+
+__all__ = [name for name in _LAZY_EXPORTS if name not in _PLANNED]
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    try:
+        module = import_module(module_name)
+    except ModuleNotFoundError as exc:
+        raise ImportError(
+            f"{name!r} requires {module_name!r}, which is not implemented yet"
+        ) from exc
+    value = getattr(module, name)
+    globals()[name] = value  # cache so __getattr__ runs once per name
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -44,6 +44,15 @@ class ByteTrie:
         for prefix in sorted(set(bytes(p) for p in prefixes)):
             self._insert(prefix)
 
+    def insert(self, prefix: bytes) -> None:
+        """Insert ``prefix``, maintaining the prefix-free invariant.
+
+        Insertion order does not matter: a prefix covered by an existing
+        shorter one is dropped, and inserting a prefix *above* existing
+        longer ones replaces them (their union is covered by the new leaf).
+        """
+        self._insert(bytes(prefix))
+
     def _insert(self, prefix: bytes) -> None:
         if not prefix:
             raise ValueError("cannot insert an empty prefix")
@@ -60,13 +69,42 @@ class ByteTrie:
                 child = ByteTrieNode()
                 node.children[byte] = child
             node = child
+        if node.is_leaf:
+            # Exact duplicate: already stored and counted.
+            return
         node.is_leaf = True
-        # A leaf must not retain children (prefix-free invariant); since the
-        # input is sorted, a longer string can never have been inserted first
-        # under this node, but clear defensively.
+        # A leaf must not retain children (prefix-free invariant).  With
+        # unsorted input, longer strings may already live below this node;
+        # they are now covered by the new leaf and must be pruned *and*
+        # un-counted, otherwise num_leaves/height silently go stale.
+        removed, pruned_depth = self._prune_subtree(node)
+        self.num_leaves += 1 - removed
+        if removed and len(prefix) + pruned_depth >= self.height:
+            # The pruned subtree may have held the deepest leaf; rescan.
+            # Shallower prunes cannot change the height, so bulk covering
+            # inserts stay near-linear.
+            self.height = max((len(leaf) for leaf in self.leaves()), default=0)
+        else:
+            self.height = max(self.height, len(prefix))
+
+    @staticmethod
+    def _prune_subtree(node: ByteTrieNode) -> tuple[int, int]:
+        """Detach ``node``'s descendants.
+
+        Returns ``(leaves_removed, max_depth_removed)`` with the depth
+        relative to ``node``.
+        """
+        removed = 0
+        max_depth = 0
+        stack = [(child, 1) for child in node.children.values()]
         node.children.clear()
-        self.num_leaves += 1
-        self.height = max(self.height, len(prefix))
+        while stack:
+            child, depth = stack.pop()
+            max_depth = max(max_depth, depth)
+            if child.is_leaf:
+                removed += 1
+            stack.extend((grandchild, depth + 1) for grandchild in child.children.values())
+        return removed, max_depth
 
     def __len__(self) -> int:
         return self.num_leaves
@@ -171,12 +209,26 @@ class ByteTrie:
 
     def edges_per_level(self) -> list[int]:
         """Return the number of edges entering each level (level 1 onwards)."""
-        levels = self.level_slices()
-        return [len(level) for level in levels[1:]]
+        return self.level_counts()[0]
 
     def internal_nodes_per_level(self) -> list[int]:
         """Return the number of internal (non-leaf) nodes at each level."""
-        return [
-            sum(1 for node, _ in level if not node.is_leaf)
-            for level in self.level_slices()
-        ]
+        return self.level_counts()[1]
+
+    def level_counts(self) -> tuple[list[int], list[int]]:
+        """Return ``(edges_per_level, internal_nodes_per_level)`` in one walk.
+
+        Unlike :meth:`level_slices` this never materialises node paths, so
+        size estimation stays cheap on large tries.
+        """
+        edges: list[int] = []
+        internal: list[int] = []
+        level = [self.root]
+        while level:
+            internal.append(sum(1 for node in level if not node.is_leaf))
+            level = [
+                child for node in level for child in node.children.values()
+            ]
+            if level:
+                edges.append(len(level))
+        return edges, internal

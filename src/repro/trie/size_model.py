@@ -1,0 +1,88 @@
+"""Succinct-trie size estimators: the ``trieMem(l)`` term of Algorithm 1.
+
+Algorithm 1 needs the memory footprint of the trie layer for every candidate
+depth *before* building anything, so the cost model works from the per-level
+node/edge counts alone (which :func:`repro.keys.lcp.unique_prefix_counts`
+derives in one pass over the sorted key set).
+
+Two families of estimates are provided:
+
+* :func:`fst_size_estimate` — the SuRF-style Fast Succinct Trie over *byte*
+  labels.  The top levels use LOUDS-Dense (two 256-bit bitmaps per node) and
+  the remaining levels LOUDS-Sparse (8-bit label + has-child bit + LOUDS bit
+  per edge).  The dense/sparse cutoff is chosen greedily per level: a level
+  is encoded dense only when that is no larger than its sparse encoding,
+  which mirrors SuRF's size-ratio heuristic.
+* :func:`binary_trie_size_estimate` — the *bit*-granular uniform-depth trie
+  used by Proteus' trie layer, where every node stores a 2-bit child bitmap.
+  This is the ``trieMem(l)`` that Algorithm 1 charges against the bit budget.
+
+The Python reference structures in this repository (pointer tries, sorted
+prefix arrays) do not themselves realise these footprints; the estimates
+define the *size accounting convention*, exactly as the paper's model does.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: LOUDS-Sparse cost per edge: 8-bit label + has-child bit + LOUDS bit.
+SPARSE_BITS_PER_EDGE = 10
+
+#: LOUDS-Dense cost per node: a 256-bit label bitmap + a 256-bit has-child bitmap.
+DENSE_BITS_PER_NODE = 512
+
+
+def louds_sparse_level_bits(num_edges: int) -> int:
+    """Return the LOUDS-Sparse footprint of a level with ``num_edges`` edges."""
+    if num_edges < 0:
+        raise ValueError("edge count must be non-negative")
+    return SPARSE_BITS_PER_EDGE * num_edges
+
+
+def louds_dense_level_bits(num_nodes: int) -> int:
+    """Return the LOUDS-Dense footprint of a level with ``num_nodes`` nodes."""
+    if num_nodes < 0:
+        raise ValueError("node count must be non-negative")
+    return DENSE_BITS_PER_NODE * num_nodes
+
+
+def fst_size_estimate(
+    edges_per_level: Sequence[int], nodes_per_level: Sequence[int] | None = None
+) -> int:
+    """Estimate the LOUDS-DS footprint of a byte trie in bits.
+
+    ``edges_per_level[i]`` is the number of edges entering level ``i + 1``
+    (the layout produced by :meth:`repro.trie.node_trie.ByteTrie.edges_per_level`).
+    ``nodes_per_level[i]``, when given, is the number of nodes *emitting*
+    those edges (i.e. internal nodes at level ``i``); absent that, each
+    level's node count is approximated by the edge count entering it, with
+    a single root at level 0.
+    """
+    total = 0
+    for index, edges in enumerate(edges_per_level):
+        if nodes_per_level is not None:
+            nodes = nodes_per_level[index]
+        else:
+            nodes = 1 if index == 0 else edges_per_level[index - 1]
+        total += min(louds_dense_level_bits(nodes), louds_sparse_level_bits(edges))
+    return total
+
+
+def binary_trie_size_estimate(prefix_counts: Sequence[int], depth: int) -> int:
+    """Return ``trieMem(depth)`` for the bit-granular uniform-depth trie.
+
+    ``prefix_counts[l]`` must be ``|K_l|``, the number of distinct ``l``-bit
+    key prefixes (see :func:`repro.keys.lcp.unique_prefix_counts`).  Every
+    internal node at depths ``0 .. depth - 1`` stores a 2-bit child bitmap;
+    the leaves at ``depth`` need no storage because the depth is uniform.
+    ``trieMem(0)`` is 0 — a depth-0 trie accepts everything and stores
+    nothing.
+    """
+    if depth < 0:
+        raise ValueError("trie depth must be non-negative")
+    if depth >= len(prefix_counts):
+        raise ValueError(
+            f"depth {depth} exceeds the modelled key width {len(prefix_counts) - 1}"
+        )
+    return 2 * sum(prefix_counts[level] for level in range(depth))

@@ -1,0 +1,92 @@
+"""Sorted-array prefix index: Proteus' uniform-depth trie layer.
+
+Proteus stores every distinct ``l1``-bit prefix of the key set in a trie of
+uniform depth ``l1``.  Semantically that trie answers exactly two queries —
+"is this key's ``l1``-prefix stored?" and "does any stored prefix fall inside
+a prefix interval?" — both of which a sorted array of prefix integers answers
+in ``O(log n)`` with :mod:`bisect`.  This module is that query engine; the
+succinct LOUDS encodings are a storage-layout concern and their footprint is
+modelled separately in :mod:`repro.trie.size_model` (see DESIGN notes in the
+module docstring there).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Sequence
+
+from repro.keys.keyspace import sorted_distinct_keys
+
+
+class SortedPrefixIndex:
+    """An immutable set of equal-length bit prefixes with interval queries.
+
+    ``length`` is the prefix length in bits and ``width`` the full key width;
+    stored prefixes are ``length``-bit unsigned integers.
+    """
+
+    __slots__ = ("prefixes", "length", "width")
+
+    def __init__(self, prefixes: Iterable[int], length: int, width: int):
+        if not 0 < length <= width:
+            raise ValueError(f"prefix length {length} outside [1, {width}]")
+        self.length = length
+        self.width = width
+        # A length-bit prefix set is just a key set in a length-bit space.
+        self.prefixes: list[int] = sorted_distinct_keys(prefixes, length)
+
+    @classmethod
+    def from_keys(cls, keys: Iterable[int], length: int, width: int) -> "SortedPrefixIndex":
+        """Index the ``length``-bit prefixes of ``width``-bit ``keys``."""
+        shift = width - length
+        return cls((key >> shift for key in keys), length, width)
+
+    def __len__(self) -> int:
+        return len(self.prefixes)
+
+    def contains(self, prefix: int) -> bool:
+        """Return whether ``prefix`` (a ``length``-bit value) is stored."""
+        i = bisect_left(self.prefixes, prefix)
+        return i < len(self.prefixes) and self.prefixes[i] == prefix
+
+    def contains_prefix_of(self, key: int) -> bool:
+        """Return whether the ``length``-bit prefix of ``key`` is stored."""
+        return self.contains(key >> (self.width - self.length))
+
+    def count_in_range(self, lo_prefix: int, hi_prefix: int) -> int:
+        """Return how many stored prefixes fall in ``[lo_prefix, hi_prefix]``."""
+        if lo_prefix > hi_prefix:
+            return 0
+        i = bisect_left(self.prefixes, lo_prefix)
+        j = bisect_right(self.prefixes, hi_prefix, lo=i)
+        return j - i
+
+    def range_in_range(self, lo_prefix: int, hi_prefix: int) -> Sequence[int]:
+        """Return the stored prefixes inside ``[lo_prefix, hi_prefix]`` (sorted)."""
+        i = bisect_left(self.prefixes, lo_prefix)
+        j = bisect_right(self.prefixes, hi_prefix, lo=i)
+        return self.prefixes[i:j]
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        """Return whether any stored prefix interval intersects ``[lo, hi]``.
+
+        ``lo`` and ``hi`` are full ``width``-bit keys with ``lo <= hi``.
+        """
+        if lo > hi:
+            raise ValueError(f"empty query range [{lo}, {hi}]")
+        shift = self.width - self.length
+        return self.count_in_range(lo >> shift, hi >> shift) > 0
+
+    def size_in_bits(self) -> int:
+        """Raw footprint of the sorted array itself (``n * length`` bits).
+
+        Callers that follow the paper's accounting should instead charge
+        :func:`repro.trie.size_model.binary_trie_size_estimate`.
+        """
+        return len(self.prefixes) * self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SortedPrefixIndex(n={len(self.prefixes)}, length={self.length}, "
+            f"width={self.width})"
+        )

@@ -1,0 +1,158 @@
+"""Randomized oracle tests: every filter vs the exact TrieOracle.
+
+The single invariant every range filter in the repository must uphold is
+**zero false negatives**: whenever the oracle answers True (a key really is
+present / really falls in the range), the filter must answer True too, for
+point and range queries alike.  Each filter is driven through the same
+seeded mixed workload (uniform ranges, point lookups, near-miss ranges).
+"""
+
+import random
+
+import pytest
+
+from conftest import mixed_queries, random_keys
+from repro.core.prf import OnePBF, TwoPBF
+from repro.core.proteus import Proteus
+from repro.filters.base import TrieOracle
+from repro.filters.prefix_bloom import PrefixBloomFilter
+from repro.filters.rosetta import Rosetta, dyadic_intervals
+from repro.filters.surf import SuRF
+from repro.keys.keyspace import IntegerKeySpace
+
+WIDTH = 32
+NUM_KEYS = 1500
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = random.Random(101)
+    keys = random_keys(rng, NUM_KEYS, WIDTH)
+    queries = mixed_queries(rng, keys, 600, WIDTH)
+    return keys, queries, TrieOracle(keys, WIDTH)
+
+
+def _budget(bits_per_key: float = 12.0) -> int:
+    return int(bits_per_key * NUM_KEYS)
+
+
+FILTER_FACTORIES = {
+    "prefix_bloom_16": lambda keys, queries: PrefixBloomFilter(
+        keys, WIDTH, prefix_len=16, num_bits=_budget()
+    ),
+    "prefix_bloom_full": lambda keys, queries: PrefixBloomFilter(
+        keys, WIDTH, prefix_len=WIDTH, num_bits=_budget()
+    ),
+    "surf": lambda keys, queries: SuRF(keys, WIDTH),
+    "surf_shallow": lambda keys, queries: SuRF(keys, WIDTH, max_depth=2),
+    "rosetta": lambda keys, queries: Rosetta(
+        keys, WIDTH, total_bits=_budget(16.0), num_levels=16
+    ),
+    "one_pbf": lambda keys, queries: OnePBF.build(
+        keys, queries, bits_per_key=12, key_space=IntegerKeySpace(WIDTH)
+    ),
+    "two_pbf": lambda keys, queries: TwoPBF.build(
+        keys, queries, bits_per_key=12, key_space=IntegerKeySpace(WIDTH)
+    ),
+    "proteus": lambda keys, queries: Proteus.build(
+        keys, queries, bits_per_key=12, key_space=IntegerKeySpace(WIDTH)
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(FILTER_FACTORIES))
+def test_zero_false_negatives(name, workload):
+    keys, queries, oracle = workload
+    filt = FILTER_FACTORIES[name](keys, queries)
+    for key in keys:
+        assert filt.may_contain(key), f"{name}: false negative on point {key}"
+    for lo, hi in queries:
+        if oracle.may_intersect(lo, hi):
+            assert filt.may_intersect(lo, hi), (
+                f"{name}: false negative on range [{lo}, {hi}]"
+            )
+    # Point queries through the range interface must agree with may_contain.
+    rng = random.Random(102)
+    for _ in range(200):
+        key = keys[rng.randrange(len(keys))]
+        assert filt.may_intersect(key, key)
+
+
+def test_oracle_is_exact(workload):
+    keys, queries, oracle = workload
+    key_set = set(keys)
+    rng = random.Random(103)
+    for _ in range(500):
+        key = rng.randrange(1 << WIDTH)
+        assert oracle.may_contain(key) == (key in key_set)
+    sorted_keys = sorted(key_set)
+    import bisect
+
+    for lo, hi in queries:
+        index = bisect.bisect_left(sorted_keys, lo)
+        truth = index < len(sorted_keys) and sorted_keys[index] <= hi
+        assert oracle.may_intersect(lo, hi) == truth
+
+
+def test_oracle_empty_key_set():
+    oracle = TrieOracle([], WIDTH)
+    assert not oracle.may_contain(42)
+    assert not oracle.may_intersect(0, (1 << WIDTH) - 1)
+
+
+def test_dyadic_intervals_cover_exactly():
+    rng = random.Random(104)
+    width = 12
+    for _ in range(200):
+        lo = rng.randrange(1 << width)
+        hi = rng.randrange(lo, 1 << width)
+        covered = []
+        for prefix, level in dyadic_intervals(lo, hi, width):
+            shift = width - level
+            covered.append((prefix << shift, (prefix << shift) + (1 << shift) - 1))
+        covered.sort()
+        assert covered[0][0] == lo
+        assert covered[-1][1] == hi
+        for (_, prev_hi), (next_lo, _) in zip(covered, covered[1:]):
+            assert next_lo == prev_hi + 1  # contiguous, no overlap, no gap
+
+
+def test_surf_non_byte_width_keeps_distinguishing_bits():
+    # Regression: with a 9-bit width the keys are MSB-padded to 2 bytes; the
+    # byte-depth rounding must count the 7 pad bits or both keys collapse to
+    # the all-zero byte prefix covering the entire space.
+    filt = SuRF([0, 64], width=9)
+    assert filt.may_contain(0) and filt.may_contain(64)
+    assert not filt.may_contain(200)
+    assert not filt.may_intersect(128, 180)
+    assert filt.may_intersect(60, 70)
+
+
+def test_rosetta_definitive_negative_on_last_probe():
+    # Regression: a Bloom negative that lands exactly when the probe budget
+    # reaches zero is still a trustworthy negative, not a conservative True.
+    filt = Rosetta([200], width=8, total_bits=1024, max_probes=1)
+    assert not filt.may_intersect(8, 11)
+    assert filt.may_intersect(199, 201)
+
+
+def test_two_pbf_survives_tiny_budget():
+    # Regression: the 1PBF-fallback and no-empty-queries paths must never
+    # hand a zero-bit layer to BloomFilter.
+    filt = TwoPBF.build([5], [(1, 2)], bits_per_key=1.0, key_space=IntegerKeySpace(8))
+    assert filt.may_contain(5)
+    assert filt.design.trie_bits >= 1 and filt.design.bloom_bits >= 1
+    no_empty = TwoPBF.build([5], [(5, 5)], bits_per_key=1.0, key_space=IntegerKeySpace(8))
+    assert no_empty.may_contain(5)
+    # A 1-bit key space cannot host two layers: clear error, not a crash deep
+    # in the fallback path.
+    with pytest.raises(ValueError, match="at least 2 bits"):
+        TwoPBF.build([0], [(1, 1)], bits_per_key=4.0, key_space=IntegerKeySpace(1))
+
+
+def test_filters_report_sizes(workload):
+    keys, queries, _ = workload
+    for name, factory in FILTER_FACTORIES.items():
+        filt = factory(keys, queries)
+        assert filt.size_in_bits() > 0, name
+        assert filt.bits_per_key() > 0, name
