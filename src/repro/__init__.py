@@ -19,11 +19,15 @@ The package is organised as a set of small, focused subpackages:
     The paper's contribution: the CPFPR model, Algorithm 1, and the protean
     range filters (1PBF, 2PBF and Proteus).
 ``repro.workloads``
-    (planned) Synthetic and SOSD-style datasets and YCSB-E-style workloads.
+    Array-backed workloads: ``EncodedKeySet``/``QueryBatch`` (the shared
+    batch representation every vectorised path consumes) and the seeded
+    synthetic generators (uniform/zipf/clustered keys, mixed query families).
 ``repro.lsm``
     (planned) A RocksDB-style LSM tree substrate with per-SST range filters.
 ``repro.evaluation``
-    (planned) Drivers that regenerate each table and figure of the paper.
+    Benchmark harness (``python -m repro.evaluation.bench``) timing the
+    batched execution paths against their scalar references; figure drivers
+    are still planned.
 
 The most common entry points are re-exported here.  Re-exports resolve
 lazily (PEP 562): a missing or broken subpackage surfaces as an error when
@@ -47,11 +51,14 @@ _LAZY_EXPORTS = {
     "KeySpace": "repro.keys.keyspace",
     "IntegerKeySpace": "repro.keys.keyspace",
     "StringKeySpace": "repro.keys.keyspace",
+    "EncodedKeySet": "repro.workloads.batch",
+    "QueryBatch": "repro.workloads.batch",
+    "generate_workload": "repro.workloads.generators",
 }
 
 __all__ = list(_LAZY_EXPORTS)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def __getattr__(name: str):

@@ -58,13 +58,28 @@ class BitArray:
             self.clear(index)
 
     def set_many(self, indices: Iterable[int]) -> None:
-        """Set every bit in ``indices`` (vectorised)."""
-        idx = np.asarray(list(indices), dtype=np.int64)
+        """Set every bit in ``indices`` (vectorised; accepts numpy arrays)."""
+        if isinstance(indices, np.ndarray):
+            idx = indices.astype(np.int64, copy=False).ravel()
+        else:
+            idx = np.asarray(list(indices), dtype=np.int64)
         if idx.size == 0:
             return
         if idx.min() < 0 or idx.max() >= self.num_bits:
             raise IndexError("bit index out of range in set_many")
         np.bitwise_or.at(self._buffer, idx >> 3, _BIT_MASKS[idx & 7])
+
+    def get_many(self, indices: Iterable[int]) -> np.ndarray:
+        """Return a boolean array with the value of every bit in ``indices``."""
+        if isinstance(indices, np.ndarray):
+            idx = indices.astype(np.int64, copy=False).ravel()
+        else:
+            idx = np.asarray(list(indices), dtype=np.int64)
+        if idx.size == 0:
+            return np.zeros(0, dtype=bool)
+        if idx.min() < 0 or idx.max() >= self.num_bits:
+            raise IndexError("bit index out of range in get_many")
+        return (self._buffer[idx >> 3] & _BIT_MASKS[idx & 7]) != 0
 
     def count(self) -> int:
         """Return the number of set bits."""

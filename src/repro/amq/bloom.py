@@ -18,8 +18,10 @@ from __future__ import annotations
 import math
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.amq.bitarray import BitArray
-from repro.amq.hashing import hash_pair
+from repro.amq.hashing import hash_pair, hash_pair_many
 from repro.amq.interface import AMQ
 
 #: The paper caps the hash function count at 32 (Section 4.3, footnote 2).
@@ -99,10 +101,58 @@ class BloomFilter(AMQ):
         self.bits.set_many(self._positions(item))
         self._inserted += 1
 
+    @staticmethod
+    def _as_word_array(items: Iterable[int]) -> tuple[np.ndarray | None, list | None]:
+        """Try to view ``items`` as a non-negative int64 array.
+
+        Returns ``(array, None)`` when the bulk path applies, or ``(None,
+        materialised_items)`` when some item is negative, too wide for a
+        word, or not an integer — those fall back to the scalar hash, which
+        also owns the error reporting for invalid items.
+        """
+        if isinstance(items, np.ndarray) and items.dtype.kind in "iu":
+            arr = items.astype(np.int64, copy=False)
+            concrete: list | None = None
+        else:
+            concrete = list(items)
+            # Inspect the natural dtype first: coercing straight to int64
+            # would silently truncate floats that the scalar path rejects.
+            probe = np.asarray(concrete)
+            if probe.dtype.kind not in "iu":
+                return None, concrete  # floats, big ints (object), etc.
+            arr = probe.astype(np.int64, copy=False)
+        if arr.size and arr.min() < 0:
+            return None, concrete if concrete is not None else list(items)
+        return arr, None
+
+    def _positions_many(self, items: np.ndarray) -> np.ndarray:
+        """Return the ``(num_hashes, len(items))`` probe-position matrix.
+
+        Same enhanced-double-hashing recurrence as :meth:`_positions`, run
+        column-parallel over numpy ``uint64`` lanes — bit-exact with the
+        scalar path (all intermediates stay below 2**64 because x, y < m).
+        """
+        h1, h2 = hash_pair_many(items, self.seed)
+        m = np.uint64(self.num_bits)
+        x, y = h1 % m, h2 % m
+        out = np.empty((self.num_hashes, items.shape[0]), dtype=np.uint64)
+        out[0] = x
+        for i in range(1, self.num_hashes):
+            x = (x + y) % m
+            y = (y + np.uint64(i)) % m
+            out[i] = x
+        return out
+
     def add_many(self, items: Iterable[int]) -> None:
+        arr, fallback = self._as_word_array(items)
+        if arr is not None:
+            if arr.size:
+                self.bits.set_many(self._positions_many(arr))
+            self._inserted += int(arr.size)
+            return
         positions: list[int] = []
         count = 0
-        for item in items:
+        for item in fallback:
             positions.extend(self._positions(item))
             count += 1
         self.bits.set_many(positions)
@@ -111,6 +161,24 @@ class BloomFilter(AMQ):
     def contains(self, item: int) -> bool:
         bits = self.bits
         return all(bits.get(position) for position in self._positions(item))
+
+    def contains_many(self, items: Iterable[int]) -> np.ndarray:
+        """Vectorised :meth:`contains`: one boolean per item.
+
+        Word-sized items are hashed and probed in bulk; anything else falls
+        back to a scalar loop (big string-key prefixes, for instance).
+        """
+        arr, fallback = self._as_word_array(items)
+        if arr is None:
+            return np.fromiter(
+                (self.contains(item) for item in fallback), dtype=bool,
+                count=len(fallback),
+            )
+        if arr.size == 0:
+            return np.zeros(0, dtype=bool)
+        positions = self._positions_many(arr)
+        probed = self.bits.get_many(positions.ravel())
+        return probed.reshape(positions.shape).all(axis=0)
 
     def size_in_bits(self) -> int:
         return self.bits.size_in_bits()

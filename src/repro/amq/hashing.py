@@ -65,3 +65,40 @@ def hash_pair(value: int, seed: int = 0) -> tuple[int, int]:
     h1 = hash_int_64(value, seed)
     h2 = hash_int_64(value, seed ^ 0x9E3779B97F4A7C15) | 1
     return h1, h2 & _MASK64
+
+
+# --------------------------------------------------------------------- #
+# Vectorised batch versions (word-sized values, numpy uint64)           #
+# --------------------------------------------------------------------- #
+
+import numpy as np  # noqa: E402  (kept below the scalar substrate it mirrors)
+
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def mix64_many(values: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`mix64` over a ``uint64`` array.
+
+    Bit-exact with the scalar version: uint64 multiplication wraps modulo
+    2**64, which is precisely the ``& _MASK64`` of the scalar code.
+    """
+    v = values.astype(np.uint64, copy=True)
+    v ^= v >> np.uint64(33)
+    v *= np.uint64(_MIX_MULT_1)
+    v ^= v >> np.uint64(33)
+    v *= np.uint64(_MIX_MULT_2)
+    v ^= v >> np.uint64(33)
+    return v
+
+
+def hash_pair_many(values: np.ndarray, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`hash_pair` over non-negative word-sized integers.
+
+    Callers must guarantee ``0 <= value <= 2**64 - 1`` per element (prefix
+    integers in a <= 64-bit key space always qualify); wider values must go
+    through the scalar :func:`hash_pair`.
+    """
+    v = np.asarray(values).astype(np.uint64)
+    h1 = mix64_many(v ^ np.uint64(mix64(seed)))
+    h2 = mix64_many(v ^ np.uint64(mix64(seed ^ _GOLDEN))) | np.uint64(1)
+    return h1, h2

@@ -27,6 +27,18 @@ the model-vs-empirical agreement test hold to within small constants.
 FPR here is defined over the *empty* sample queries only — non-empty queries
 are true positives for every zero-false-negative filter and carry no design
 signal.
+
+Execution model
+    For word-sized key spaces (width <= 63) the per-query ``(lo, hi, L)``
+    triples live in numpy ``int64`` arrays and every design evaluator runs a
+    handful of array operations over *all* sample queries at once — this is
+    what makes Algorithm 1's sweep over ~10^3 candidate designs tractable.
+    Wider key spaces (or ``vectorize=False``) use the scalar per-query
+    reference paths; both paths are held equal by the parity test-suite.
+    The trie-gated probe count is the one subtle vector step: the number of
+    ``l2``-slots of a query that extend a *stored* ``l1``-prefix is computed
+    as a difference of two "covered slots below x" prefix sums, each a
+    single ``searchsorted`` over the ``l1``-prefix array.
 """
 
 from __future__ import annotations
@@ -34,23 +46,39 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Iterable
 
+import numpy as np
+
 from repro.amq.bloom import bloom_fpr
 from repro.filters.prefix_bloom import DEFAULT_MAX_PROBES
-from repro.keys.keyspace import sorted_distinct_keys
-from repro.keys.lcp import query_set_lcp, unique_prefix_counts
+from repro.keys.lcp import MAX_VECTOR_WIDTH, query_set_lcp_many
+from repro.workloads.batch import (
+    EncodedKeySet,
+    QueryBatch,
+    coerce_query_batch,
+    slot_bounds,
+)
 
 __all__ = ["CPFPRModel", "DEFAULT_MAX_PROBES"]
 
 
 class CPFPRModel:
-    """Expected-FPR evaluator for trie/Bloom prefix-filter designs."""
+    """Expected-FPR evaluator for trie/Bloom prefix-filter designs.
+
+    ``keys`` may be any iterable of encoded integers or an
+    :class:`~repro.workloads.batch.EncodedKeySet`; ``queries`` any iterable
+    of inclusive ``(lo, hi)`` pairs or a
+    :class:`~repro.workloads.batch.QueryBatch`.  ``vectorize=False`` forces
+    the scalar reference paths even for word-sized key spaces (used by the
+    benchmark harness and the parity tests).
+    """
 
     def __init__(
         self,
-        keys: Iterable[int],
+        keys: Iterable[int] | EncodedKeySet,
         width: int,
-        queries: Iterable[tuple[int, int]],
+        queries: Iterable[tuple[int, int]] | QueryBatch,
         max_probes: int = DEFAULT_MAX_PROBES,
+        vectorize: bool = True,
     ):
         if width <= 0:
             raise ValueError("key width must be positive")
@@ -58,36 +86,82 @@ class CPFPRModel:
             raise ValueError("max_probes must be at least 1")
         self.width = width
         self.max_probes = max_probes
-        self.sorted_keys: list[int] = sorted_distinct_keys(keys, width)
-        #: ``prefix_counts[l] == |K_l|``, the number of distinct l-bit prefixes.
-        self.prefix_counts = unique_prefix_counts(self.sorted_keys, width)
-        self.num_queries = 0
-        #: Per empty query: ``(lo, hi, L)`` with ``L = lcp(q, K)``.
-        self.empty_queries: list[tuple[int, int, int]] = []
-        top = (1 << width) - 1
-        for lo, hi in queries:
-            if lo > hi:
-                raise ValueError(f"empty query range [{lo}, {hi}]")
-            if lo < 0 or hi > top:
+        if isinstance(keys, EncodedKeySet):
+            if keys.width != width:
                 raise ValueError(
-                    f"query range [{lo}, {hi}] outside the {width}-bit key space"
+                    f"key set width {keys.width} does not match model width {width}"
                 )
-            self.num_queries += 1
-            lcp = query_set_lcp(self.sorted_keys, lo, hi, width)
-            if lcp < width:
-                self.empty_queries.append((lo, hi, lcp))
-        # Suffix counts over L: _lcp_at_least[l] = #empty queries with L >= l.
-        histogram = [0] * (width + 1)
-        for _, _, lcp in self.empty_queries:
-            histogram[lcp] += 1
-        self._lcp_at_least = [0] * (width + 2)
-        for length in range(width, -1, -1):
-            self._lcp_at_least[length] = self._lcp_at_least[length + 1] + histogram[length]
+            keyset = keys
+        else:
+            keyset = EncodedKeySet(keys, width)
+        self._keyset = keyset
+        self.sorted_keys: list[int] = keyset.as_list()
+        #: ``prefix_counts[l] == |K_l|``, the number of distinct l-bit prefixes.
+        self.prefix_counts = keyset.prefix_counts()
+        batch = coerce_query_batch(queries, width)
+        self.num_queries = len(batch)
+        self._vector = bool(
+            vectorize
+            and width <= MAX_VECTOR_WIDTH
+            and keyset.is_vector
+            and batch.is_vector
+        )
+        self._empty_list: list[tuple[int, int, int]] | None = None
+        if self._vector:
+            lcps = query_set_lcp_many(keyset.keys, batch.los, batch.his, width)
+            empty = lcps < width
+            self._empty_lo = batch.los[empty]
+            self._empty_hi = batch.his[empty]
+            self._empty_lcp = lcps[empty]
+            histogram = np.bincount(self._empty_lcp, minlength=width + 1) if (
+                self._empty_lcp.size
+            ) else np.zeros(width + 1, dtype=np.int64)
+            suffix = np.zeros(width + 2, dtype=np.int64)
+            suffix[: width + 1] = np.cumsum(histogram[::-1])[::-1]
+            self._lcp_at_least = suffix.tolist()
+        else:
+            from repro.keys.lcp import query_set_lcp
+
+            empty_queries: list[tuple[int, int, int]] = []
+            for lo, hi in batch.pairs():
+                lcp = query_set_lcp(self.sorted_keys, lo, hi, width)
+                if lcp < width:
+                    empty_queries.append((lo, hi, lcp))
+            self._empty_list = empty_queries
+            histogram_list = [0] * (width + 1)
+            for _, _, lcp in empty_queries:
+                histogram_list[lcp] += 1
+            self._lcp_at_least = [0] * (width + 2)
+            for length in range(width, -1, -1):
+                self._lcp_at_least[length] = (
+                    self._lcp_at_least[length + 1] + histogram_list[length]
+                )
         self._prefix_cache: dict[int, list[int]] = {}
+        # Per-layer masks the design sweep re-uses across candidates: the
+        # trie gate depends only on l1, the slot interval and the certainty
+        # mask only on l2 — Algorithm 1 revisits each dozens of times.
+        self._gate_cache: dict[int, tuple] = {}
+        self._slot_cache: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._certain_cache: dict[int, np.ndarray] = {}
+
+    @property
+    def empty_queries(self) -> list[tuple[int, int, int]]:
+        """Per empty query: ``(lo, hi, L)`` with ``L = lcp(q, K)`` (lazy list)."""
+        if self._empty_list is None:
+            self._empty_list = list(
+                zip(
+                    self._empty_lo.tolist(),
+                    self._empty_hi.tolist(),
+                    self._empty_lcp.tolist(),
+                )
+            )
+        return self._empty_list
 
     @property
     def num_empty_queries(self) -> int:
-        return len(self.empty_queries)
+        if self._vector:
+            return int(self._empty_lo.size)
+        return len(self._empty_list)
 
     def certain_fp_fraction(self, length: int) -> float:
         """Fraction of empty queries with ``lcp(q, K) >= length``.
@@ -96,18 +170,21 @@ class CPFPRModel:
         finest layer is ``length`` bits — the lower bound Algorithm 1 prunes
         dominated candidates with.
         """
-        if not self.empty_queries:
+        total = self.num_empty_queries
+        if not total:
             return 0.0
-        return self._lcp_at_least[min(length, self.width + 1)] / len(self.empty_queries)
+        return self._lcp_at_least[min(length, self.width + 1)] / total
 
     def prefixes(self, length: int) -> list[int]:
         """Return the sorted distinct ``length``-bit key prefixes (cached)."""
         cached = self._prefix_cache.get(length)
         if cached is None:
-            shift = self.width - length
-            cached = sorted({key >> shift for key in self.sorted_keys})
+            cached = self._keyset.prefixes(length).tolist()
             self._prefix_cache[length] = cached
         return cached
+
+    def _prefix_arr(self, length: int) -> np.ndarray:
+        return self._keyset.prefixes(length)
 
     def bloom_probe_fpr(self, num_bits: int, length: int) -> float:
         """Single-probe FPR of a Bloom filter over the ``length``-prefix set."""
@@ -126,8 +203,13 @@ class CPFPRModel:
         """
         l1, l2 = trie_depth, bloom_prefix_len
         self._validate_layers(l1, l2)
-        if not self.empty_queries:
+        if not self.num_empty_queries:
             return 0.0
+        if self._vector:
+            return self._proteus_fpr_vector(l1, l2, bloom_bits)
+        return self._proteus_fpr_scalar(l1, l2, bloom_bits)
+
+    def _proteus_fpr_scalar(self, l1: int, l2: int, bloom_bits: int) -> float:
         width = self.width
         cap = self.max_probes
         probe_fpr = self.bloom_probe_fpr(bloom_bits, l2) if l2 else 0.0
@@ -163,6 +245,100 @@ class CPFPRModel:
             total += 1.0 - (1.0 - probe_fpr) ** probes
         return total / len(self.empty_queries)
 
+    def _trie_gate_info(
+        self, l1: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-query trie-intersection indices at depth ``l1`` (cached).
+
+        With ``blo``/``bhi`` the query's l1-slot interval and ``T`` the
+        stored l1-prefix array, returns ``(gate, strict_lo, strict_hi,
+        has_lo, has_hi)`` where ``gate`` is "some stored prefix intersects",
+        ``strict_lo``/``strict_hi`` bracket the stored prefixes *strictly
+        inside* ``(blo, bhi)``, and ``has_lo``/``has_hi`` say whether the
+        boundary slots themselves are stored.  Everything here depends only
+        on ``l1``, so Algorithm 1's inner loop over ``l2`` reuses it — the
+        per-candidate cost is pure arithmetic, no searches.
+        """
+        info = self._gate_cache.get(l1)
+        if info is None:
+            trie = self._prefix_arr(l1)
+            blo, bhi, _ = self._slot_info(l1)
+            i_l = np.searchsorted(trie, blo, side="left")
+            i_r = np.searchsorted(trie, blo, side="right")
+            j_l = np.searchsorted(trie, bhi, side="left")
+            j_r = np.searchsorted(trie, bhi, side="right")
+            info = (j_r > i_l, i_r, j_l, i_r > i_l, j_r > j_l)
+            self._gate_cache[l1] = info
+        return info
+
+    def _slot_info(self, l2: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-query ``(plo, phi, clamped)`` at prefix length ``l2`` (cached)."""
+        info = self._slot_cache.get(l2)
+        if info is None:
+            info = slot_bounds(
+                self._empty_lo, self._empty_hi, self.width, l2, self.max_probes
+            )
+            self._slot_cache[l2] = info
+        return info
+
+    def _certain_mask(self, l2: int) -> np.ndarray:
+        """Boolean ``lcp(q, K) >= l2`` mask (cached)."""
+        certain = self._certain_cache.get(l2)
+        if certain is None:
+            certain = self._empty_lcp >= l2
+            self._certain_cache[l2] = certain
+        return certain
+
+    def _proteus_fpr_vector(self, l1: int, l2: int, bloom_bits: int) -> float:
+        num_empty = self._empty_lo.size
+        gate = None
+        if l1:
+            gate, strict_lo, strict_hi, has_lo, has_hi = self._trie_gate_info(l1)
+        if l2 == 0:
+            # Trie-only design: deterministic, every gated query is a FP.
+            return 1.0 if gate is None else float(gate.sum() / num_empty)
+        plo, phi, clamped = self._slot_info(l2)
+        certain = self._certain_mask(l2) | clamped
+        if gate is not None:
+            sure = gate & certain
+            active = gate & ~certain
+        else:
+            sure = certain
+            active = ~certain
+        total = float(sure.sum())
+        if active.any():
+            plo_a, phi_a = plo[active], phi[active]
+            if l1:
+                # Probe count = l2-slots of the query under a stored
+                # l1-prefix: full middle blocks (2^gap slots each) plus the
+                # partial boundary blocks, all from the cached per-l1 trie
+                # indices — no per-candidate searches.
+                gap = l2 - l1
+                mask = np.int64((1 << gap) - 1)
+                blo, bhi, _ = self._slot_info(l1)
+                blo_a, bhi_a = blo[active], bhi[active]
+                middle = np.maximum(strict_hi[active] - strict_lo[active], 0)
+                first = np.where(
+                    has_lo[active],
+                    np.minimum(phi_a, (blo_a << gap) + mask) - plo_a + 1,
+                    0,
+                )
+                last = np.where(
+                    has_hi[active],
+                    phi_a - np.maximum(plo_a, bhi_a << gap) + 1,
+                    0,
+                )
+                probes = np.where(
+                    blo_a == bhi_a,
+                    np.where(has_lo[active], phi_a - plo_a + 1, 0),
+                    middle * np.int64(1 << gap) + first + last,
+                )
+            else:
+                probes = phi_a - plo_a + 1
+            probe_fpr = self.bloom_probe_fpr(bloom_bits, l2)
+            total += float((1.0 - (1.0 - probe_fpr) ** probes).sum())
+        return total / num_empty
+
     def one_pbf_fpr(self, bloom_prefix_len: int, bloom_bits: int) -> float:
         """Expected FPR of a single-layer prefix Bloom filter (1PBF)."""
         return self.proteus_fpr(0, bloom_prefix_len, bloom_bits)
@@ -182,8 +358,15 @@ class CPFPRModel:
         l1, l2 = first_prefix_len, second_prefix_len
         if not 0 < l1 < l2 <= self.width:
             raise ValueError(f"need 0 < l1 < l2 <= width, got ({l1}, {l2})")
-        if not self.empty_queries:
+        if not self.num_empty_queries:
             return 0.0
+        if self._vector:
+            return self._two_pbf_fpr_vector(l1, l2, first_bits, second_bits)
+        return self._two_pbf_fpr_scalar(l1, l2, first_bits, second_bits)
+
+    def _two_pbf_fpr_scalar(
+        self, l1: int, l2: int, first_bits: int, second_bits: int
+    ) -> float:
         width = self.width
         cap = self.max_probes
         p1 = self.bloom_probe_fpr(first_bits, l1)
@@ -203,6 +386,23 @@ class CPFPRModel:
                 pass_second = 1.0 if n2 > cap else 1.0 - (1.0 - p2) ** n2
             total += pass_first * pass_second
         return total / len(self.empty_queries)
+
+    def _two_pbf_fpr_vector(
+        self, l1: int, l2: int, first_bits: int, second_bits: int
+    ) -> float:
+        total = self._layer_pass_probability(l1, first_bits)
+        total = total * self._layer_pass_probability(l2, second_bits)
+        return float(total.sum() / self._empty_lo.size)
+
+    def _layer_pass_probability(self, length: int, bits: int) -> np.ndarray:
+        """Per-query probability that one Bloom layer answers positively."""
+        p = self.bloom_probe_fpr(bits, length)
+        plo, phi, clamped = self._slot_info(length)
+        certain = self._certain_mask(length) | clamped
+        # The + 1 lands after the where: phi - plo + 1 would overflow int64
+        # for clamped full-space queries at width 63.
+        slots = np.where(certain, -1, phi - plo) + 1
+        return np.where(certain, 1.0, 1.0 - (1.0 - p) ** slots)
 
     def _validate_layers(self, trie_depth: int, bloom_prefix_len: int) -> None:
         if not 0 <= trie_depth <= self.width:

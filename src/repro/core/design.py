@@ -17,6 +17,15 @@ Two prunes keep the walk cheap, both exact (no optimal design is skipped):
   ``certain_fp_fraction(l2)`` lower-bounds the design's FPR; candidates
   whose bound already meets the incumbent's FPR are skipped without
   evaluating the model.
+
+A third shortcut is unconditional: an incumbent with expected FPR 0 cannot
+be improved, so the walk stops outright (common on workloads whose sample
+queries are all far from the key set).
+
+Each candidate evaluation is one call into the CPFPR model, which for
+word-sized key spaces is a handful of numpy operations over *all* sample
+queries (see :mod:`repro.core.cpfpr`) — the sweep is vectorised over
+queries, and these prunes bound how many sweeps run.
 """
 
 from __future__ import annotations
@@ -58,12 +67,14 @@ def design_proteus(model: CPFPRModel, total_bits: int) -> FilterDesign:
     if total_bits <= 0:
         raise ValueError("the bit budget must be positive")
     width = model.width
-    if not model.empty_queries:
+    if not model.num_empty_queries:
         # No empty sample query carries any signal; default to the finest
         # Bloom-only design, which maximises discrimination for point lookups.
         return FilterDesign("proteus", 0, width, 0, total_bits, 0.0)
     best: FilterDesign | None = None
     for trie_depth in range(width + 1):
+        if best is not None and best.expected_fpr == 0.0:
+            break  # nothing can beat a zero-FPR incumbent
         trie_bits = binary_trie_size_estimate(model.prefix_counts, trie_depth)
         if trie_depth > 0 and trie_bits > total_bits:
             break  # trieMem is non-decreasing in the depth: nothing deeper fits
@@ -77,6 +88,8 @@ def design_proteus(model: CPFPRModel, total_bits: int) -> FilterDesign:
         if bloom_budget < MIN_BLOOM_BITS:
             continue
         for bloom_len in range(trie_depth + 1, width + 1):
+            if best.expected_fpr == 0.0:
+                break
             if model.certain_fp_fraction(bloom_len) >= best.expected_fpr:
                 continue  # dominated: the certain-FP floor alone is no better
             fpr = model.proteus_fpr(trie_depth, bloom_len, bloom_budget)
@@ -93,7 +106,7 @@ def design_one_pbf(model: CPFPRModel, total_bits: int) -> FilterDesign:
     if total_bits <= 0:
         raise ValueError("the bit budget must be positive")
     width = model.width
-    if not model.empty_queries:
+    if not model.num_empty_queries:
         return FilterDesign("1pbf", 0, width, 0, total_bits, 0.0)
     best: FilterDesign | None = None
     for bloom_len in range(1, width + 1):
@@ -111,7 +124,7 @@ def design_two_pbf(model: CPFPRModel, total_bits: int) -> FilterDesign:
     if total_bits <= 0:
         raise ValueError("the bit budget must be positive")
     width = model.width
-    if not model.empty_queries:
+    if not model.num_empty_queries:
         return FilterDesign(
             "2pbf",
             1,
@@ -142,3 +155,17 @@ def design_two_pbf(model: CPFPRModel, total_bits: int) -> FilterDesign:
         # Budget too small for two layers: fall back to the finest 1PBF shape.
         return design_one_pbf(model, total_bits)
     return best
+
+
+def design_all(model: CPFPRModel, total_bits: int) -> dict[str, FilterDesign]:
+    """Run Algorithm 1 once per design family under the same budget.
+
+    Returns ``{"proteus": ..., "1pbf": ..., "2pbf": ...}`` — the benchmark
+    harness and evaluation drivers use this to compare the families' chosen
+    designs on one workload without re-deriving the model.
+    """
+    return {
+        "proteus": design_proteus(model, total_bits),
+        "1pbf": design_one_pbf(model, total_bits),
+        "2pbf": design_two_pbf(model, total_bits),
+    }

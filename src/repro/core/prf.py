@@ -18,11 +18,14 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.core.cpfpr import DEFAULT_MAX_PROBES, CPFPRModel
 from repro.core.design import FilterDesign, design_one_pbf, design_two_pbf
 from repro.filters.base import RangeFilter
 from repro.filters.prefix_bloom import PrefixBloomFilter
 from repro.keys.keyspace import IntegerKeySpace, KeySpace, sorted_distinct_keys
+from repro.workloads.batch import EncodedKeySet, QueryBatch, as_key_array, coerce_query_batch
 
 
 def prepare_workload(
@@ -30,19 +33,39 @@ def prepare_workload(
     sample_queries: Iterable[tuple],
     key_space: KeySpace | None,
     bits_per_key: float,
-) -> tuple[KeySpace, list[int], list[tuple[int, int]], int]:
+) -> tuple[KeySpace, EncodedKeySet, QueryBatch, int]:
     """Encode a raw workload into a shared key space, shared by every builder.
 
-    Returns ``(space, encoded_keys, encoded_queries, total_bits)`` where the
-    bit budget is ``bits_per_key`` times the number of *distinct* keys.
+    Returns ``(space, key_set, query_batch, total_bits)`` where the bit
+    budget is ``bits_per_key`` times the number of *distinct* keys.  An
+    :class:`EncodedKeySet` / :class:`QueryBatch` passed in is adopted as-is
+    (already encoded — ``key_space`` then defaults to an integer space of
+    the matching width); raw iterables are encoded through ``key_space``.
     """
-    space = key_space if key_space is not None else IntegerKeySpace(64)
-    encoded_keys = space.encode_many(keys)
-    encoded_queries = [
-        (space.encode(lo), space.encode(hi)) for lo, hi in sample_queries
-    ]
-    total_bits = max(1, int(bits_per_key * len(set(encoded_keys))))
-    return space, encoded_keys, encoded_queries, total_bits
+    if isinstance(keys, EncodedKeySet):
+        space = key_space if key_space is not None else IntegerKeySpace(keys.width)
+        if space.width != keys.width:
+            raise ValueError(
+                f"key set width {keys.width} does not match key space width {space.width}"
+            )
+        key_set = keys
+    else:
+        space = key_space if key_space is not None else IntegerKeySpace(64)
+        key_set = EncodedKeySet(space.encode_many(keys), space.width)
+    if isinstance(sample_queries, QueryBatch):
+        if sample_queries.width != space.width:
+            raise ValueError(
+                f"query batch width {sample_queries.width} does not match "
+                f"key space width {space.width}"
+            )
+        query_batch = sample_queries
+    else:
+        query_batch = QueryBatch.from_pairs(
+            [(space.encode(lo), space.encode(hi)) for lo, hi in sample_queries],
+            space.width,
+        )
+    total_bits = max(1, int(bits_per_key * len(key_set)))
+    return space, key_set, query_batch, total_bits
 
 
 class OnePBF(PrefixBloomFilter):
@@ -63,13 +86,13 @@ class OnePBF(PrefixBloomFilter):
         seed: int = 0,
     ) -> "OnePBF":
         """Self-design over a query sample and instantiate the chosen 1PBF."""
-        space, encoded_keys, encoded_queries, total_bits = prepare_workload(
+        space, key_set, query_batch, total_bits = prepare_workload(
             keys, sample_queries, key_space, bits_per_key
         )
-        model = CPFPRModel(encoded_keys, space.width, encoded_queries, max_probes)
+        model = CPFPRModel(key_set, space.width, query_batch, max_probes)
         design = design_one_pbf(model, total_bits)
         instance = cls(
-            encoded_keys,
+            key_set.keys,
             space.width,
             design.bloom_prefix_len,
             design.bloom_bits,
@@ -138,12 +161,12 @@ class TwoPBF(RangeFilter):
         seed: int = 0,
     ) -> "TwoPBF":
         """Self-design over a query sample and instantiate the chosen 2PBF."""
-        space, encoded_keys, encoded_queries, total_bits = prepare_workload(
+        space, key_set, query_batch, total_bits = prepare_workload(
             keys, sample_queries, key_space, bits_per_key
         )
         if space.width < 2:
             raise ValueError("a 2PBF needs a key space of at least 2 bits")
-        model = CPFPRModel(encoded_keys, space.width, encoded_queries, max_probes)
+        model = CPFPRModel(key_set, space.width, query_batch, max_probes)
         design = design_two_pbf(model, total_bits)
         if design.kind == "1pbf":
             # Budget admitted only one layer: widen it into a degenerate 2PBF
@@ -164,7 +187,7 @@ class TwoPBF(RangeFilter):
                 model.two_pbf_fpr(first_len, second_len, first_bits, second_bits),
             )
         instance = cls(
-            encoded_keys,
+            key_set.keys,
             space.width,
             design.trie_depth,
             design.bloom_prefix_len,
@@ -192,6 +215,16 @@ class TwoPBF(RangeFilter):
         lo, hi = self._encode(lo), self._encode(hi)
         self._check_range(lo, hi)
         return self._first.may_intersect(lo, hi) and self._second.may_intersect(lo, hi)
+
+    def may_contain_many(self, keys) -> np.ndarray:
+        arr = as_key_array(keys)  # materialise once: both layers consume it
+        return self._first.may_contain_many(arr) & self._second.may_contain_many(arr)
+
+    def may_intersect_many(self, queries) -> np.ndarray:
+        batch = coerce_query_batch(queries, self.width)
+        return self._first.may_intersect_many(batch) & self._second.may_intersect_many(
+            batch
+        )
 
     def size_in_bits(self) -> int:
         return self._first.size_in_bits() + self._second.size_in_bits()

@@ -25,13 +25,18 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.amq.bloom import BloomFilter
 from repro.core.cpfpr import DEFAULT_MAX_PROBES, CPFPRModel
 from repro.core.design import FilterDesign, design_proteus
 from repro.core.prf import prepare_workload
-from repro.filters.base import RangeFilter
+from repro.filters.base import RangeFilter, ragged_ranges
 from repro.keys.keyspace import KeySpace, sorted_distinct_keys
+from repro.keys.lcp import MAX_VECTOR_WIDTH
+from repro.keys.prefix import distinct_prefixes
 from repro.trie.sorted_index import SortedPrefixIndex
+from repro.workloads.batch import as_key_array, coerce_query_batch, slot_bounds
 
 
 class Proteus(RangeFilter):
@@ -63,10 +68,9 @@ class Proteus(RangeFilter):
             self._trie = SortedPrefixIndex.from_keys(distinct_keys, l1, width)
         self._bloom: BloomFilter | None = None
         if l2 > 0:
-            shift = width - l2
-            prefixes = {key >> shift for key in distinct_keys}
+            prefixes = distinct_prefixes(distinct_keys, l2, width)
             self._bloom = BloomFilter(
-                max(1, design.bloom_bits), max(1, len(prefixes)), seed=seed
+                max(1, design.bloom_bits), max(1, int(prefixes.size)), seed=seed
             )
             self._bloom.add_many(prefixes)
 
@@ -87,12 +91,12 @@ class Proteus(RangeFilter):
         hi)`` pairs in the same raw domain — use ``(k, k)`` for a point
         query.  ``bits_per_key`` bounds the total filter footprint.
         """
-        space, encoded_keys, encoded_queries, total_bits = prepare_workload(
+        space, key_set, query_batch, total_bits = prepare_workload(
             keys, sample_queries, key_space, bits_per_key
         )
-        model = CPFPRModel(encoded_keys, space.width, encoded_queries, max_probes)
+        model = CPFPRModel(key_set, space.width, query_batch, max_probes)
         design = design_proteus(model, total_bits)
-        instance = cls(encoded_keys, space.width, design, max_probes=max_probes, seed=seed)
+        instance = cls(key_set.keys, space.width, design, max_probes=max_probes, seed=seed)
         instance.key_space = space
         return instance
 
@@ -102,9 +106,11 @@ class Proteus(RangeFilter):
         return self.design.expected_fpr
 
     def may_contain(self, key) -> bool:
+        return self._may_contain_encoded(self._encode(key))
+
+    def _may_contain_encoded(self, encoded: int) -> bool:
         if self.num_keys == 0:
             return False
-        encoded = self._encode(key)
         if self._trie is not None and not self._trie.contains_prefix_of(encoded):
             return False
         if self._bloom is not None:
@@ -115,6 +121,9 @@ class Proteus(RangeFilter):
     def may_intersect(self, lo, hi) -> bool:
         lo, hi = self._encode(lo), self._encode(hi)
         self._check_range(lo, hi)
+        return self._may_intersect_encoded(lo, hi)
+
+    def _may_intersect_encoded(self, lo: int, hi: int) -> bool:
         if self.num_keys == 0:
             return False
         trie = self._trie
@@ -135,6 +144,62 @@ class Proteus(RangeFilter):
             if bloom.contains(prefix):
                 return True
         return False
+
+    def may_contain_many(self, keys) -> np.ndarray:
+        """Batched :meth:`may_contain` over *encoded* keys."""
+        arr = as_key_array(keys)
+        if arr.dtype == object or self.width > MAX_VECTOR_WIDTH:
+            return np.fromiter(
+                (self._may_contain_encoded(key) for key in arr.tolist()),
+                dtype=bool,
+                count=arr.size,
+            )
+        if self.num_keys == 0:
+            return np.zeros(arr.size, dtype=bool)
+        out = np.ones(arr.size, dtype=bool)
+        if self._trie is not None:
+            shift1 = np.int64(self.width - self.design.trie_depth)
+            out &= self._trie.contains_many(arr >> shift1)
+        if self._bloom is not None:
+            shift2 = np.int64(self.width - self.design.bloom_prefix_len)
+            out &= self._bloom.contains_many(arr >> shift2)
+        return out
+
+    def may_intersect_many(self, queries) -> np.ndarray:
+        """Batched :meth:`may_intersect` over *encoded* range queries."""
+        batch = coerce_query_batch(queries, self.width)
+        if not batch.is_vector:
+            return np.fromiter(
+                (self._may_intersect_encoded(lo, hi) for lo, hi in batch.pairs()),
+                dtype=bool,
+                count=len(batch),
+            )
+        if self.num_keys == 0:
+            return np.zeros(len(batch), dtype=bool)
+        trie, bloom = self._trie, self._bloom
+        gate = (
+            trie.overlaps_many(batch.los, batch.his)
+            if trie is not None
+            else np.ones(len(batch), dtype=bool)
+        )
+        if bloom is None:
+            return gate
+        l1, l2 = self.design.trie_depth, self.design.bloom_prefix_len
+        plo, phi, clamped = slot_bounds(
+            batch.los, batch.his, self.width, l2, self.max_probes
+        )
+        out = gate & clamped  # clamped gated queries: conservative positive
+        todo = gate & ~clamped
+        if todo.any():
+            flat, seg_starts = ragged_ranges(plo[todo], phi[todo] - plo[todo] + 1)
+            hits = bloom.contains_many(flat)
+            if trie is not None:
+                # Only l2-slots extending a stored l1-prefix count; a Bloom
+                # positive on an uncovered slot is discarded, exactly as the
+                # scalar path never probes it.
+                hits &= trie.contains_many(flat >> np.int64(l2 - l1))
+            out[todo] = np.logical_or.reduceat(hits, seg_starts)
+        return out
 
     def size_in_bits(self) -> int:
         """Modelled trie footprint + actual Bloom bits (paper accounting)."""

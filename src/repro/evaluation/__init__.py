@@ -1,0 +1,20 @@
+"""Evaluation drivers: benchmark harness and (planned) figure regeneration.
+
+:mod:`repro.evaluation.bench` times the batched execution paths against
+their scalar references on a seeded synthetic workload and emits a JSON
+report — run it with ``python -m repro.evaluation.bench``.  Drivers that
+regenerate the paper's FPR-vs-bits-per-key figures will join it here.
+"""
+
+__all__ = ["run_benchmarks"]
+
+
+def __getattr__(name: str):
+    # Lazy (PEP 562), and not only for style: an eager `from .bench import`
+    # here would make `python -m repro.evaluation.bench` re-execute the
+    # module found in sys.modules (runpy RuntimeWarning).
+    if name == "run_benchmarks":
+        from repro.evaluation.bench import run_benchmarks
+
+        return run_benchmarks
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

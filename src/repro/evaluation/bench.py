@@ -1,0 +1,230 @@
+"""Benchmark harness: batched execution paths vs their scalar references.
+
+Times the three hot paths the batched refactor targets, on one seeded
+synthetic workload (defaults: 10k uniform keys, 4k mixed queries, 32-bit
+space):
+
+* **model build** — CPFPR preprocessing (per-query ``lcp(q, K)`` and the
+  prefix-count profile), scalar bisect loop vs numpy batch;
+* **design search** — Algorithm 1 over the full Proteus design space,
+  evaluating every candidate against all sample queries: pure-Python inner
+  loop vs the vectorised model (the paper's ~10^3 designs x 10^3 queries
+  sweep);
+* **probe** — answering every sample query through the built Proteus
+  filter, per-query ``may_intersect`` loop vs ``may_intersect_many``, plus
+  the same comparison for Bloom point probes and bulk inserts.
+
+Each section verifies the two paths agree (identical chosen design,
+identical filter answers) before reporting, so a speedup can never be
+bought with a wrong answer.  Results go to a JSON report:
+
+    python -m repro.evaluation.bench --output BENCH_pr2.json
+
+``--min-speedup X`` makes the run fail unless the design-search and probe
+speedups both reach ``X`` (CI smoke-tests use a tiny workload with the
+check disabled; the committed ``BENCH_pr2.json`` documents >= 10x on the
+default workload).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.core.cpfpr import CPFPRModel
+from repro.core.design import design_proteus
+from repro.core.proteus import Proteus
+from repro.workloads.generators import generate_workload
+
+__all__ = ["run_benchmarks", "main"]
+
+
+def _time(fn: Callable[[], object], repeats: int = 3) -> tuple[float, object]:
+    """Return ``(best_seconds, last_result)`` over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_benchmarks(
+    num_keys: int = 10_000,
+    num_queries: int = 4_000,
+    width: int = 32,
+    seed: int = 42,
+    bits_per_key: float = 12.0,
+    key_dist: str = "uniform",
+    query_family: str = "mixed",
+    repeats: int = 3,
+) -> dict:
+    """Run every section and return the JSON-ready report dict."""
+    key_set, batch = generate_workload(
+        num_keys, num_queries, width, seed=seed,
+        key_dist=key_dist, query_family=query_family,
+    )
+    keys_list = key_set.as_list()
+    query_pairs = batch.to_list()
+    budget = max(1, int(bits_per_key * len(key_set)))
+    report: dict = {
+        "workload": {
+            "num_keys": len(key_set),
+            "num_queries": len(batch),
+            "width": width,
+            "seed": seed,
+            "bits_per_key": bits_per_key,
+            "key_dist": key_dist,
+            "query_family": query_family,
+            "total_bits": budget,
+        },
+        "benchmarks": {},
+        "speedups": {},
+    }
+
+    # -- model build: per-query LCP + prefix-count preprocessing ---------- #
+    t_scalar, scalar_model = _time(
+        lambda: CPFPRModel(keys_list, width, query_pairs, vectorize=False), repeats
+    )
+    t_vector, vector_model = _time(
+        lambda: CPFPRModel(key_set, width, batch), repeats
+    )
+    assert isinstance(scalar_model, CPFPRModel) and isinstance(vector_model, CPFPRModel)
+    if vector_model.empty_queries != scalar_model.empty_queries:
+        raise AssertionError("vectorised model preprocessing diverged from scalar")
+    report["benchmarks"]["model_build"] = {
+        "scalar_seconds": t_scalar,
+        "batched_seconds": t_vector,
+        "num_empty_queries": vector_model.num_empty_queries,
+    }
+    report["speedups"]["model_build"] = t_scalar / t_vector
+
+    # -- design search: Algorithm 1 over the Proteus design space --------- #
+    # The scalar sweep is the expensive path; run it once, the vector sweep
+    # with the configured repeats.
+    t_scalar, scalar_design = _time(lambda: design_proteus(scalar_model, budget), 1)
+    t_vector, vector_design = _time(lambda: design_proteus(vector_model, budget), repeats)
+    same_point = (
+        scalar_design.kind == vector_design.kind
+        and scalar_design.trie_depth == vector_design.trie_depth
+        and scalar_design.bloom_prefix_len == vector_design.bloom_prefix_len
+        and scalar_design.trie_bits == vector_design.trie_bits
+        and scalar_design.bloom_bits == vector_design.bloom_bits
+    )
+    if not same_point:
+        raise AssertionError(
+            f"design divergence: scalar {scalar_design} vs batched {vector_design}"
+        )
+    report["benchmarks"]["design_search"] = {
+        "scalar_seconds": t_scalar,
+        "batched_seconds": t_vector,
+        "chosen_design": {
+            "kind": vector_design.kind,
+            "trie_depth": vector_design.trie_depth,
+            "bloom_prefix_len": vector_design.bloom_prefix_len,
+            "trie_bits": vector_design.trie_bits,
+            "bloom_bits": vector_design.bloom_bits,
+            "expected_fpr": vector_design.expected_fpr,
+        },
+    }
+    report["speedups"]["design_search"] = t_scalar / t_vector
+
+    # -- probe: range queries through the built Proteus filter ------------ #
+    filt = Proteus(key_set.keys, width, vector_design)
+    t_scalar, scalar_answers = _time(
+        lambda: [filt.may_intersect(lo, hi) for lo, hi in query_pairs], repeats
+    )
+    t_vector, vector_answers = _time(lambda: filt.may_intersect_many(batch), repeats)
+    if list(vector_answers) != scalar_answers:
+        raise AssertionError("batched probe answers diverged from the scalar loop")
+    report["benchmarks"]["range_probe"] = {
+        "scalar_seconds": t_scalar,
+        "batched_seconds": t_vector,
+        "positives": int(np.asarray(vector_answers).sum()),
+    }
+    report["speedups"]["range_probe"] = t_scalar / t_vector
+
+    # -- Bloom layer: bulk point probes over the same prefix stream ------- #
+    bloom = filt._bloom
+    if bloom is not None:
+        shift = np.int64(width - vector_design.bloom_prefix_len)
+        probe_prefixes = np.concatenate([key_set.keys, batch.los]) >> shift
+        t_scalar, scalar_hits = _time(
+            lambda: [bloom.contains(p) for p in probe_prefixes.tolist()], repeats
+        )
+        t_vector, vector_hits = _time(
+            lambda: bloom.contains_many(probe_prefixes), repeats
+        )
+        if list(vector_hits) != scalar_hits:
+            raise AssertionError("bulk Bloom probes diverged from the scalar loop")
+        report["benchmarks"]["bloom_point_probe"] = {
+            "scalar_seconds": t_scalar,
+            "batched_seconds": t_vector,
+            "num_probes": int(probe_prefixes.size),
+        }
+        report["speedups"]["bloom_point_probe"] = t_scalar / t_vector
+
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation.bench", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--keys", type=int, default=10_000, help="number of keys")
+    parser.add_argument("--queries", type=int, default=4_000, help="number of sample queries")
+    parser.add_argument("--width", type=int, default=32, help="key width in bits")
+    parser.add_argument("--seed", type=int, default=42, help="workload seed")
+    parser.add_argument("--bits-per-key", type=float, default=12.0)
+    parser.add_argument(
+        "--key-dist", default="uniform", choices=("uniform", "zipf", "clustered")
+    )
+    parser.add_argument(
+        "--query-family", default="mixed",
+        choices=("uniform", "point", "correlated", "mixed"),
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", default=None, help="write the JSON report here")
+    parser.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help="fail unless design-search and range-probe speedups reach this",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmarks(
+        num_keys=args.keys,
+        num_queries=args.queries,
+        width=args.width,
+        seed=args.seed,
+        bits_per_key=args.bits_per_key,
+        key_dist=args.key_dist,
+        query_family=args.query_family,
+        repeats=args.repeats,
+    )
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+    print(rendered)
+    if args.min_speedup > 0:
+        gating = {
+            name: report["speedups"][name] for name in ("design_search", "range_probe")
+        }
+        failing = {k: v for k, v in gating.items() if v < args.min_speedup}
+        if failing:
+            print(
+                f"FAIL: speedups below {args.min_speedup}x: {failing}", file=sys.stderr
+            )
+            return 1
+        print(f"OK: gating speedups all >= {args.min_speedup}x: {gating}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

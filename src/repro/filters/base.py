@@ -20,8 +20,30 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Iterable, Optional
 
+import numpy as np
+
 from repro.keys.keyspace import sorted_distinct_keys
+from repro.keys.lcp import MAX_VECTOR_WIDTH
 from repro.trie.node_trie import ByteTrie
+from repro.workloads.batch import as_key_array, coerce_query_batch
+
+
+def ragged_ranges(starts: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten per-query integer ranges into one probe array plus segment starts.
+
+    Given ``starts[i]`` and ``lengths[i] >= 1`` this returns ``(flat,
+    seg_starts)`` where ``flat`` concatenates ``range(starts[i], starts[i] +
+    lengths[i])`` for every ``i`` and ``seg_starts[i]`` is the offset of
+    segment ``i`` in ``flat`` — the layout ``np.logical_or.reduceat`` needs
+    to fold per-probe answers back into per-query answers.
+    """
+    lengths = lengths.astype(np.int64, copy=False)
+    seg_ends = np.cumsum(lengths)
+    seg_starts = seg_ends - lengths
+    total = int(seg_ends[-1]) if lengths.size else 0
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, lengths)
+    flat = np.repeat(starts.astype(np.int64, copy=False), lengths) + offsets
+    return flat, seg_starts
 
 
 def key_to_bytes(key: int, width: int) -> bytes:
@@ -56,6 +78,44 @@ class RangeFilter(ABC):
     @abstractmethod
     def may_intersect(self, lo: int, hi: int) -> bool:
         """Return False only if ``[lo, hi]`` definitely contains no key."""
+
+    # ------------------------------------------------------------------ #
+    # Batch API                                                          #
+    # ------------------------------------------------------------------ #
+    #
+    # Both batch methods operate on *encoded* keys — the integer view of
+    # the filter's key space — and return a boolean numpy array aligned
+    # with the input.  The base implementations loop over the scalar
+    # methods, so third-party subclasses inherit correct (if unaccelerated)
+    # batch behaviour for free; the filters in this repository override
+    # them with vectorised paths for word-sized key spaces.
+
+    def may_contain_many(self, keys) -> np.ndarray:
+        """Per-key :meth:`may_contain` over a batch of encoded keys.
+
+        Accepts a numpy array, an ``EncodedKeySet``, or any iterable of
+        ints; returns one boolean per input key, in order.
+        """
+        arr = as_key_array(keys)
+        return np.fromiter(
+            (self.may_contain(key) for key in arr.tolist()),
+            dtype=bool,
+            count=arr.size,
+        )
+
+    def may_intersect_many(self, queries) -> np.ndarray:
+        """Per-query :meth:`may_intersect` over a batch of range queries.
+
+        Accepts a :class:`~repro.workloads.batch.QueryBatch` or any
+        iterable of inclusive ``(lo, hi)`` pairs; returns one boolean per
+        query, in order.
+        """
+        batch = coerce_query_batch(queries, self.width)
+        return np.fromiter(
+            (self.may_intersect(lo, hi) for lo, hi in batch.pairs()),
+            dtype=bool,
+            count=len(batch),
+        )
 
     @abstractmethod
     def size_in_bits(self) -> int:
@@ -92,6 +152,11 @@ class TrieOracle(RangeFilter):
         encoded = sorted_distinct_keys(keys, width)
         self.num_keys = len(encoded)
         self._trie = ByteTrie(key_to_bytes(key, width) for key in encoded)
+        # Word-sized key sets keep a sorted array view so batch answers are
+        # two searchsorted calls instead of a trie walk per query.
+        self._sorted: np.ndarray | None = (
+            np.array(encoded, dtype=np.int64) if width <= MAX_VECTOR_WIDTH else None
+        )
 
     def may_contain(self, key: int) -> bool:
         if self.num_keys == 0:
@@ -105,6 +170,23 @@ class TrieOracle(RangeFilter):
         return self._trie.range_overlaps(
             key_to_bytes(lo, self.width), key_to_bytes(hi, self.width)
         )
+
+    def may_contain_many(self, keys) -> np.ndarray:
+        arr = as_key_array(keys)
+        if self._sorted is None or arr.dtype == object or self.num_keys == 0:
+            return super().may_contain_many(arr)
+        idx = np.searchsorted(self._sorted, arr, side="left")
+        safe = np.minimum(idx, self.num_keys - 1)
+        return (idx < self.num_keys) & (self._sorted[safe] == arr)
+
+    def may_intersect_many(self, queries) -> np.ndarray:
+        batch = coerce_query_batch(queries, self.width)
+        if self._sorted is None or not batch.is_vector or self.num_keys == 0:
+            return super().may_intersect_many(batch)
+        # [lo, hi] contains a key iff the first key >= lo exists and is <= hi.
+        idx = np.searchsorted(self._sorted, batch.los, side="left")
+        safe = np.minimum(idx, self.num_keys - 1)
+        return (idx < self.num_keys) & (self._sorted[safe] <= batch.his)
 
     def match(self, key: int) -> Optional[bytes]:
         """Return the stored byte string matching ``key``, if any."""

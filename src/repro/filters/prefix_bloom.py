@@ -17,10 +17,14 @@ from __future__ import annotations
 
 from typing import Iterable
 
+import numpy as np
+
 from repro.amq.bloom import BloomFilter
-from repro.filters.base import RangeFilter
+from repro.filters.base import RangeFilter, ragged_ranges
 from repro.keys.keyspace import sorted_distinct_keys
-from repro.keys.prefix import prefix_of, prefix_range
+from repro.keys.lcp import MAX_VECTOR_WIDTH
+from repro.keys.prefix import distinct_prefixes, prefix_of, prefix_range
+from repro.workloads.batch import as_key_array, coerce_query_batch, slot_bounds
 
 #: Default clamp on Bloom probes per range query (mirrored by the CPFPR model).
 DEFAULT_MAX_PROBES = 64
@@ -47,8 +51,8 @@ class PrefixBloomFilter(RangeFilter):
         self.max_probes = max_probes
         distinct_keys = sorted_distinct_keys(keys, width)
         self.num_keys = len(distinct_keys)
-        prefixes = {key >> (width - prefix_len) for key in distinct_keys}
-        self.num_prefixes = len(prefixes)
+        prefixes = distinct_prefixes(distinct_keys, prefix_len, width)
+        self.num_prefixes = int(prefixes.size)
         self._bloom = BloomFilter(num_bits, max(1, self.num_prefixes), seed=seed)
         self._bloom.add_many(prefixes)
 
@@ -66,6 +70,46 @@ class PrefixBloomFilter(RangeFilter):
             return True
         bloom = self._bloom
         return any(bloom.contains(prefix) for prefix in range(plo, phi + 1))
+
+    def may_contain_many(self, keys) -> np.ndarray:
+        arr = as_key_array(keys)
+        if arr.dtype == object or self.width > MAX_VECTOR_WIDTH:
+            # Encoded-domain loop, deliberately bypassing any may_contain
+            # override in a subclass (OnePBF re-encodes raw keys there).
+            return np.fromiter(
+                (PrefixBloomFilter.may_contain(self, key) for key in arr.tolist()),
+                dtype=bool,
+                count=arr.size,
+            )
+        if self.num_keys == 0:
+            return np.zeros(arr.size, dtype=bool)
+        return self._bloom.contains_many(arr >> np.int64(self.width - self.prefix_len))
+
+    def may_intersect_many(self, queries) -> np.ndarray:
+        batch = coerce_query_batch(queries, self.width)
+        if not batch.is_vector:
+            return np.fromiter(
+                (
+                    PrefixBloomFilter.may_intersect(self, lo, hi)
+                    for lo, hi in batch.pairs()
+                ),
+                dtype=bool,
+                count=len(batch),
+            )
+        if self.num_keys == 0:
+            return np.zeros(len(batch), dtype=bool)
+        plo, phi, clamped = slot_bounds(
+            batch.los, batch.his, self.width, self.prefix_len, self.max_probes
+        )
+        out = clamped.copy()
+        todo = ~clamped
+        if todo.any():
+            # Queries past the probe clamp answer True without touching the
+            # Bloom filter; the rest probe every slot in their [plo, phi].
+            flat, seg_starts = ragged_ranges(plo[todo], phi[todo] - plo[todo] + 1)
+            hits = self._bloom.contains_many(flat)
+            out[todo] = np.logical_or.reduceat(hits, seg_starts)
+        return out
 
     def size_in_bits(self) -> int:
         return self._bloom.size_in_bits()

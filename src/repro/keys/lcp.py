@@ -11,12 +11,23 @@ set and the sample queries:
   prefix between any value in ``Q`` and any key.  Any prefix length at most
   ``lcp(Q, K)`` cannot distinguish the query from the key set and is a
   guaranteed false positive (Section 4.3 "Count Query Prefixes").
+
+Both quantities come in two flavours: the scalar reference implementations
+(arbitrary key widths, pure Python) and ``*_many`` numpy batch versions for
+word-sized key spaces (width <= 63, so values and spans fit ``int64``).  The
+batch versions are bit-exact re-statements of the scalar ones — the CPFPR
+model dispatches between them and the parity test-suite holds them equal.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from typing import Sequence
+
+import numpy as np
+
+#: Widest key space whose values (and ``hi - lo`` spans) fit ``numpy.int64``.
+MAX_VECTOR_WIDTH = 63
 
 
 def lcp_bits(a: int, b: int, width: int) -> int:
@@ -110,3 +121,81 @@ def min_distinguishing_prefix_lengths(
         right = lcps[i] if i < n - 1 else -1
         lengths.append(min(width, max(left, right) + 1))
     return lengths
+
+
+# --------------------------------------------------------------------- #
+# Vectorised batch versions (width <= MAX_VECTOR_WIDTH, int64 arrays)   #
+# --------------------------------------------------------------------- #
+
+_POP_M1 = np.uint64(0x5555555555555555)
+_POP_M2 = np.uint64(0x3333333333333333)
+_POP_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_POP_H01 = np.uint64(0x0101010101010101)
+
+
+def _popcount64(values: np.ndarray) -> np.ndarray:
+    """SWAR popcount over a ``uint64`` array (no numpy-2-only intrinsics)."""
+    v = values
+    v = v - ((v >> np.uint64(1)) & _POP_M1)
+    v = (v & _POP_M2) + ((v >> np.uint64(2)) & _POP_M2)
+    v = (v + (v >> np.uint64(4))) & _POP_M4
+    return (v * _POP_H01) >> np.uint64(56)
+
+
+def bit_length_many(values: np.ndarray) -> np.ndarray:
+    """``int.bit_length`` over an array of non-negative word-sized integers."""
+    v = np.asarray(values).astype(np.uint64)
+    for shift in (1, 2, 4, 8, 16, 32):
+        v = v | (v >> np.uint64(shift))
+    return _popcount64(v).astype(np.int64)
+
+
+def lcp_bits_many(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    """Vectorised :func:`lcp_bits`: LCP length of ``a[i]`` and ``b[i]``."""
+    return width - bit_length_many(np.bitwise_xor(a, b))
+
+
+def unique_prefix_counts_array(sorted_keys: np.ndarray, width: int) -> np.ndarray:
+    """Vectorised :func:`unique_prefix_counts` over a sorted distinct int64 array."""
+    counts = np.zeros(width + 1, dtype=np.int64)
+    if sorted_keys.size == 0:
+        return counts
+    counts[0] = 1
+    if sorted_keys.size > 1:
+        lcps = lcp_bits_many(sorted_keys[:-1], sorted_keys[1:], width)
+        histogram = np.bincount(lcps, minlength=width + 1)
+        # counts[l] = 1 + #adjacent pairs with LCP < l.
+        counts[1:] = 1 + np.cumsum(histogram)[: width]
+    else:
+        counts[1:] = 1
+    return counts
+
+
+def query_set_lcp_many(
+    sorted_keys: np.ndarray, los: np.ndarray, his: np.ndarray, width: int
+) -> np.ndarray:
+    """Vectorised :func:`query_set_lcp` over ``(los[i], his[i])`` intervals.
+
+    Non-empty intervals get the full ``width`` (same convention as the
+    scalar version); empty ones get the max LCP against the predecessor of
+    ``lo`` and the successor of ``hi``.
+    """
+    out = np.zeros(los.shape[0], dtype=np.int64)
+    n = sorted_keys.size
+    if n == 0 or out.size == 0:
+        return out
+    left = np.searchsorted(sorted_keys, los, side="left")
+    right = np.searchsorted(sorted_keys, his, side="right")
+    nonempty = right > left
+    out[nonempty] = width
+    empty = ~nonempty
+    has_left = empty & (left > 0)
+    if has_left.any():
+        neighbours = sorted_keys[left[has_left] - 1]
+        out[has_left] = lcp_bits_many(neighbours, los[has_left], width)
+    has_right = empty & (right < n)
+    if has_right.any():
+        neighbours = sorted_keys[right[has_right]]
+        candidate = lcp_bits_many(neighbours, his[has_right], width)
+        out[has_right] = np.maximum(out[has_right], candidate)
+    return out

@@ -15,17 +15,22 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.keys.keyspace import sorted_distinct_keys
+from repro.keys.lcp import MAX_VECTOR_WIDTH
 
 
 class SortedPrefixIndex:
     """An immutable set of equal-length bit prefixes with interval queries.
 
     ``length`` is the prefix length in bits and ``width`` the full key width;
-    stored prefixes are ``length``-bit unsigned integers.
+    stored prefixes are ``length``-bit unsigned integers.  Word-sized prefix
+    sets additionally keep an ``int64`` array view so batch queries resolve
+    with a couple of ``searchsorted`` calls.
     """
 
-    __slots__ = ("prefixes", "length", "width")
+    __slots__ = ("prefixes", "length", "width", "_arr")
 
     def __init__(self, prefixes: Iterable[int], length: int, width: int):
         if not 0 < length <= width:
@@ -34,6 +39,11 @@ class SortedPrefixIndex:
         self.width = width
         # A length-bit prefix set is just a key set in a length-bit space.
         self.prefixes: list[int] = sorted_distinct_keys(prefixes, length)
+        self._arr: np.ndarray | None = (
+            np.array(self.prefixes, dtype=np.int64)
+            if length <= MAX_VECTOR_WIDTH
+            else None
+        )
 
     @classmethod
     def from_keys(cls, keys: Iterable[int], length: int, width: int) -> "SortedPrefixIndex":
@@ -76,6 +86,47 @@ class SortedPrefixIndex:
             raise ValueError(f"empty query range [{lo}, {hi}]")
         shift = self.width - self.length
         return self.count_in_range(lo >> shift, hi >> shift) > 0
+
+    # ------------------------------------------------------------------ #
+    # Batch queries (word-sized prefix sets only)                        #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_vector(self) -> bool:
+        """Whether the batch query methods are available."""
+        return self._arr is not None
+
+    def contains_many(self, prefixes: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`contains` over an int64 array of prefixes."""
+        arr = self._require_arr()
+        idx = np.searchsorted(arr, prefixes, side="left")
+        found = idx < arr.size
+        safe = np.minimum(idx, max(arr.size - 1, 0))
+        return found & (arr[safe] == prefixes) if arr.size else np.zeros(
+            prefixes.shape, dtype=bool
+        )
+
+    def count_in_range_many(
+        self, lo_prefixes: np.ndarray, hi_prefixes: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`count_in_range` over parallel prefix arrays."""
+        arr = self._require_arr()
+        i = np.searchsorted(arr, lo_prefixes, side="left")
+        j = np.searchsorted(arr, hi_prefixes, side="right")
+        return np.maximum(j - i, 0)
+
+    def overlaps_many(self, los: np.ndarray, his: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`overlaps` over parallel full-key arrays."""
+        shift = np.int64(self.width - self.length)
+        return self.count_in_range_many(los >> shift, his >> shift) > 0
+
+    def _require_arr(self) -> np.ndarray:
+        if self._arr is None:
+            raise ValueError(
+                f"batch queries need a word-sized prefix length "
+                f"(got {self.length} > {MAX_VECTOR_WIDTH})"
+            )
+        return self._arr
 
     def size_in_bits(self) -> int:
         """Raw footprint of the sorted array itself (``n * length`` bits).

@@ -1,0 +1,51 @@
+"""Workloads: array-backed key sets, query batches, and seeded generators.
+
+The batched execution layer runs on two shared types —
+:class:`~repro.workloads.batch.EncodedKeySet` (sorted distinct keys as a
+numpy array) and :class:`~repro.workloads.batch.QueryBatch` (parallel
+``lo``/``hi`` arrays of inclusive range queries).  Word-sized key spaces
+(width <= 63 bits) get ``int64`` backing and vectorised consumers; wider
+spaces fall back to ``object`` arrays and scalar paths transparently.
+
+:mod:`repro.workloads.generators` provides the seeded synthetic workload
+families (uniform/zipf/clustered keys, uniform/point/correlated/mixed
+queries) that the test-suite and the benchmark harness share.
+"""
+
+from repro.workloads.batch import (
+    MAX_VECTOR_WIDTH,
+    EncodedKeySet,
+    QueryBatch,
+    as_key_array,
+    coerce_query_batch,
+)
+from repro.workloads.generators import (
+    KEY_DISTRIBUTIONS,
+    QUERY_FAMILIES,
+    clustered_keys,
+    correlated_queries,
+    generate_workload,
+    mixed_queries,
+    point_queries,
+    random_keys,
+    uniform_queries,
+    zipf_keys,
+)
+
+__all__ = [
+    "MAX_VECTOR_WIDTH",
+    "EncodedKeySet",
+    "QueryBatch",
+    "as_key_array",
+    "coerce_query_batch",
+    "KEY_DISTRIBUTIONS",
+    "QUERY_FAMILIES",
+    "random_keys",
+    "zipf_keys",
+    "clustered_keys",
+    "uniform_queries",
+    "point_queries",
+    "correlated_queries",
+    "mixed_queries",
+    "generate_workload",
+]

@@ -1,0 +1,289 @@
+"""Shared array representation for keys and query batches.
+
+Every layer of the batched execution path speaks two types:
+
+* :class:`EncodedKeySet` — a sorted, distinct, bounds-checked key set in a
+  fixed-width integer key space, backed by a numpy array;
+* :class:`QueryBatch` — a batch of inclusive ``[lo, hi]`` range queries in
+  the same space, backed by parallel ``los``/``his`` arrays (a point query
+  is ``lo == hi``).
+
+For word-sized key spaces (``width <= MAX_VECTOR_WIDTH`` — 63 bits, so
+values *and* spans fit ``int64``) the backing arrays are ``int64`` and every
+consumer (bulk Bloom probes, the vectorised CPFPR model, the batch filter
+API) runs a few numpy operations per batch.  Wider spaces (null-padded
+string keys can be thousands of bits) fall back to ``object`` arrays of
+Python ints; consumers detect ``is_vector == False`` and take their scalar
+per-item paths, so correctness never depends on the fast path.
+
+Both types validate on construction with the same rules as the scalar
+entry points (:func:`repro.keys.keyspace.sorted_distinct_keys` for keys,
+``RangeFilter._check_range`` for queries), so a batch handed to any filter
+or model is already known to be well-formed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.keys.keyspace import KeySpace, sorted_distinct_keys
+from repro.keys.lcp import MAX_VECTOR_WIDTH, unique_prefix_counts, unique_prefix_counts_array
+
+__all__ = [
+    "MAX_VECTOR_WIDTH",
+    "EncodedKeySet",
+    "QueryBatch",
+    "as_key_array",
+    "coerce_query_batch",
+    "slot_bounds",
+]
+
+
+def slot_bounds(
+    los: np.ndarray,
+    his: np.ndarray,
+    width: int,
+    prefix_len: int,
+    max_probes: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-query prefix-slot interval and probe clamp: ``(plo, phi, clamped)``.
+
+    ``plo``/``phi`` bound the ``prefix_len``-bit slots each ``[lo, hi]``
+    covers; ``clamped`` marks queries spanning more than ``max_probes``
+    slots (the filters answer those with a conservative True, and the CPFPR
+    model charges them as certain positives).  The clamp compares the span
+    against ``max_probes - 1`` instead of forming the slot count
+    ``phi - plo + 1``, which would overflow int64 on a full-space query in
+    a 63-bit key space.  Every Bloom-layer consumer shares this helper so
+    the overflow-sensitive idiom lives in exactly one place.
+    """
+    shift = np.int64(width - prefix_len)
+    plo = los >> shift
+    phi = his >> shift
+    return plo, phi, phi - plo > max_probes - 1
+
+
+def _is_vector_width(width: int) -> bool:
+    return width <= MAX_VECTOR_WIDTH
+
+
+class EncodedKeySet:
+    """A sorted distinct key set in a ``width``-bit space, as a numpy array.
+
+    ``keys`` holds ``int64`` values for word-sized spaces and Python ints
+    (``object`` dtype) otherwise; either way the array is sorted, distinct
+    and bounds-checked, so every consumer can skip its own validation.
+    """
+
+    __slots__ = ("width", "keys", "_prefix_cache", "_prefix_counts")
+
+    def __init__(self, keys: Iterable[int], width: int):
+        if width <= 0:
+            raise ValueError("key width must be positive")
+        self.width = width
+        if _is_vector_width(width):
+            if isinstance(keys, np.ndarray) and keys.dtype.kind in "iu":
+                arr = np.unique(keys.astype(np.int64, copy=False))
+            else:
+                arr = np.array(sorted_distinct_keys(keys, width), dtype=np.int64)
+            if arr.size and not 0 <= int(arr[0]) <= int(arr[-1]) < (1 << width):
+                raise ValueError(f"key outside the {width}-bit key space")
+            self.keys = arr
+        else:
+            self.keys = np.array(sorted_distinct_keys(keys, width), dtype=object)
+        self._prefix_cache: dict[int, np.ndarray] = {}
+        self._prefix_counts: list[int] | None = None
+
+    @classmethod
+    def from_raw(cls, keys: Iterable, key_space: KeySpace) -> "EncodedKeySet":
+        """Encode raw-domain keys through ``key_space`` and wrap them."""
+        return cls(key_space.encode_many(keys), key_space.width)
+
+    @property
+    def is_vector(self) -> bool:
+        """Whether the backing array supports the numpy fast paths."""
+        return self.keys.dtype != object
+
+    def __len__(self) -> int:
+        return int(self.keys.size)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.as_list())
+
+    def as_list(self) -> list[int]:
+        """Return the keys as a plain sorted list of Python ints."""
+        return self.keys.tolist()
+
+    def prefixes(self, length: int) -> np.ndarray:
+        """Return the sorted distinct ``length``-bit key prefixes (cached)."""
+        if not 0 <= length <= self.width:
+            raise ValueError(f"prefix length {length} outside [0, {self.width}]")
+        cached = self._prefix_cache.get(length)
+        if cached is None:
+            shift = self.width - length
+            if self.is_vector:
+                cached = np.unique(self.keys >> np.int64(shift)) if shift else self.keys
+            else:
+                cached = np.array(
+                    sorted({key >> shift for key in self.keys.tolist()}), dtype=object
+                )
+            self._prefix_cache[length] = cached
+        return cached
+
+    def prefix_counts(self) -> list[int]:
+        """Return ``counts`` with ``counts[l] == |K_l|`` (cached)."""
+        if self._prefix_counts is None:
+            if self.is_vector:
+                self._prefix_counts = unique_prefix_counts_array(
+                    self.keys, self.width
+                ).tolist()
+            else:
+                self._prefix_counts = unique_prefix_counts(self.as_list(), self.width)
+        return self._prefix_counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EncodedKeySet(n={len(self)}, width={self.width})"
+
+
+class QueryBatch:
+    """A batch of inclusive ``[lo, hi]`` range queries over one key space."""
+
+    __slots__ = ("width", "los", "his")
+
+    def __init__(self, los, his, width: int, validate: bool = True):
+        if width <= 0:
+            raise ValueError("key width must be positive")
+        self.width = width
+        if _is_vector_width(width):
+            try:
+                self.los = np.asarray(los, dtype=np.int64)
+                self.his = np.asarray(his, dtype=np.int64)
+            except (OverflowError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"query bound outside the {width}-bit key space"
+                ) from exc
+        else:
+            self.los = np.array([int(lo) for lo in los], dtype=object)
+            self.his = np.array([int(hi) for hi in his], dtype=object)
+        if self.los.shape != self.his.shape or self.los.ndim != 1:
+            raise ValueError("los and his must be parallel one-dimensional arrays")
+        if validate and len(self):
+            self._validate()
+
+    def _validate(self) -> None:
+        top = (1 << self.width) - 1
+        if self.is_vector:
+            bad_order = self.los > self.his
+            if bad_order.any():
+                index = int(np.argmax(bad_order))
+                raise ValueError(
+                    f"empty query range [{int(self.los[index])}, {int(self.his[index])}]"
+                )
+            if int(self.los.min()) < 0 or int(self.his.max()) > top:
+                raise ValueError(
+                    f"query range outside the {self.width}-bit key space"
+                )
+        else:
+            for lo, hi in zip(self.los.tolist(), self.his.tolist()):
+                if lo > hi:
+                    raise ValueError(f"empty query range [{lo}, {hi}]")
+                if lo < 0 or hi > top:
+                    raise ValueError(
+                        f"query range [{lo}, {hi}] outside the {self.width}-bit key space"
+                    )
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[tuple[int, int]], width: int, validate: bool = True
+    ) -> "QueryBatch":
+        """Build a batch from an iterable of inclusive ``(lo, hi)`` pairs."""
+        pairs = list(pairs)
+        if not pairs:
+            return cls([], [], width, validate=False)
+        los, his = zip(*pairs)
+        return cls(los, his, width, validate=validate)
+
+    @classmethod
+    def points(cls, keys: Iterable[int], width: int) -> "QueryBatch":
+        """Build a batch of point queries ``(k, k)``."""
+        keys = list(keys)
+        return cls(keys, keys, width)
+
+    @classmethod
+    def from_raw(
+        cls, pairs: Iterable[tuple], key_space: KeySpace
+    ) -> "QueryBatch":
+        """Encode raw-domain ``(lo, hi)`` pairs through ``key_space``."""
+        encoded = [
+            (key_space.encode(lo), key_space.encode(hi)) for lo, hi in pairs
+        ]
+        return cls.from_pairs(encoded, key_space.width)
+
+    @property
+    def is_vector(self) -> bool:
+        """Whether the backing arrays support the numpy fast paths."""
+        return self.los.dtype != object
+
+    def __len__(self) -> int:
+        return int(self.los.size)
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        """Iterate the queries as ``(lo, hi)`` pairs of Python ints."""
+        return zip(self.los.tolist(), self.his.tolist())
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return self.pairs()
+
+    def to_list(self) -> list[tuple[int, int]]:
+        """Return the queries as a plain list of ``(lo, hi)`` pairs."""
+        return list(self.pairs())
+
+    def spans(self) -> np.ndarray:
+        """Return ``hi - lo + 1`` per query (the key count each covers).
+
+        Returned as ``uint64``: the full-space query in a 63-bit space
+        covers ``2**63`` keys, one past the int64 maximum.
+        """
+        if self.is_vector:
+            return (self.his - self.los).astype(np.uint64) + np.uint64(1)
+        return np.array(
+            [hi - lo + 1 for lo, hi in self.pairs()], dtype=object
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryBatch(n={len(self)}, width={self.width})"
+
+
+def coerce_query_batch(queries, width: int) -> QueryBatch:
+    """Return ``queries`` as a :class:`QueryBatch` in a ``width``-bit space.
+
+    An existing batch is passed through untouched (its width must match);
+    any iterable of ``(lo, hi)`` pairs is wrapped and validated.
+    """
+    if isinstance(queries, QueryBatch):
+        if queries.width != width:
+            raise ValueError(
+                f"query batch width {queries.width} does not match filter width {width}"
+            )
+        return queries
+    return QueryBatch.from_pairs(queries, width)
+
+
+def as_key_array(keys) -> np.ndarray:
+    """Return ``keys`` as a 1-D numpy array (``int64`` when values fit).
+
+    Accepts numpy arrays, :class:`EncodedKeySet`, or any iterable of ints.
+    The result is *not* deduplicated or validated — it is the probe-side
+    helper for ``may_contain_many``, where duplicates are legitimate.
+    """
+    if isinstance(keys, EncodedKeySet):
+        return keys.keys
+    if isinstance(keys, np.ndarray) and keys.dtype.kind in "iu":
+        return keys.astype(np.int64, copy=False)
+    concrete = list(keys)
+    try:
+        return np.array(concrete, dtype=np.int64)
+    except (OverflowError, TypeError, ValueError):
+        return np.array(concrete, dtype=object)

@@ -1,0 +1,231 @@
+"""Seeded workload generators: key distributions and query families.
+
+This module is the single home for synthetic workload sampling — the
+test-suite (``tests/conftest.py``) and the benchmark harness
+(:mod:`repro.evaluation.bench`) both draw from here, so experiments stop
+hand-rolling key/query sampling.
+
+Everything is seeded through an explicit ``random.Random`` instance: a
+failing test or a benchmark run reproduces byte-for-byte.  Queries are
+inclusive ``(lo, hi)`` pairs; point queries are ``(k, k)``.
+
+Key distributions
+    * :func:`random_keys` — uniform over the key space;
+    * :func:`zipf_keys` — heavy-tailed (Pareto gaps), keys piled near the
+      bottom of the space with a long sparse tail, the skewed-integer
+      setting of the paper's synthetic benchmarks;
+    * :func:`clustered_keys` — dense clusters around uniform centres, the
+      SOSD-style "books/osm" shape where keys arrive in runs.
+
+Query families
+    * :func:`uniform_queries` — uniform ranges (mostly empty, far from
+      keys);
+    * :func:`point_queries` — uniform point lookups;
+    * :func:`correlated_queries` — near-miss ranges just above an existing
+      key, sharing a long prefix with it (the adversarial family the paper
+      designs against);
+    * :func:`mixed_queries` — an even blend of the three.
+
+:func:`generate_workload` bundles a key distribution and a query family
+into the array-backed :class:`~repro.workloads.batch.EncodedKeySet` /
+:class:`~repro.workloads.batch.QueryBatch` pair the batched execution
+layer consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.workloads.batch import EncodedKeySet, QueryBatch
+
+__all__ = [
+    "random_keys",
+    "zipf_keys",
+    "clustered_keys",
+    "uniform_queries",
+    "point_queries",
+    "correlated_queries",
+    "mixed_queries",
+    "KEY_DISTRIBUTIONS",
+    "QUERY_FAMILIES",
+    "generate_workload",
+]
+
+
+# --------------------------------------------------------------------- #
+# Key distributions                                                     #
+# --------------------------------------------------------------------- #
+
+
+def random_keys(rng: random.Random, count: int, width: int) -> list[int]:
+    """Return ``count`` distinct uniform ``width``-bit keys."""
+    return rng.sample(range(1 << width), count)
+
+
+def zipf_keys(
+    rng: random.Random, count: int, width: int, skew: float = 1.2
+) -> list[int]:
+    """Return ``count`` distinct keys with a heavy-tailed (Pareto) density.
+
+    Successive keys are separated by ``int(paretovariate(skew))`` gaps, so
+    the set is dense near its origin and increasingly sparse — the shape a
+    Zipf-popularity insert stream produces.  ``skew`` close to 1 gives the
+    heaviest tail.  Falls back to uniform filling if the space is too small
+    to fit ``count`` distinct keys under the sampled gaps.
+    """
+    if count > (1 << width):
+        raise ValueError(f"cannot draw {count} distinct {width}-bit keys")
+    top = (1 << width) - 1
+    keys: set[int] = set()
+    position = 0
+    while len(keys) < count and position <= top:
+        keys.add(position)
+        position += max(1, int(rng.paretovariate(skew)))
+    while len(keys) < count:  # tail overflowed the space: top up uniformly
+        keys.add(rng.randrange(1 << width))
+    return sorted(keys)
+
+
+def clustered_keys(
+    rng: random.Random,
+    count: int,
+    width: int,
+    num_clusters: int = 16,
+    spread: int = 1 << 12,
+) -> list[int]:
+    """Return ``count`` distinct keys in dense clusters around uniform centres.
+
+    Each key is a uniform centre plus a uniform offset in ``[-spread,
+    spread]`` (clamped to the key space) — runs of nearby keys with long
+    shared prefixes, as produced by timestamp or location insert streams.
+    """
+    if count > (1 << width):
+        raise ValueError(f"cannot draw {count} distinct {width}-bit keys")
+    if num_clusters < 1:
+        raise ValueError("need at least one cluster")
+    top = (1 << width) - 1
+    centres = [rng.randrange(1 << width) for _ in range(num_clusters)]
+    keys: set[int] = set()
+    attempts, max_attempts = 0, 64 * count
+    while len(keys) < count and attempts < max_attempts:
+        centre = centres[rng.randrange(num_clusters)]
+        keys.add(min(top, max(0, centre + rng.randint(-spread, spread))))
+        attempts += 1
+    while len(keys) < count:  # clusters saturated: top up uniformly
+        keys.add(rng.randrange(1 << width))
+    return sorted(keys)
+
+
+# --------------------------------------------------------------------- #
+# Query families                                                        #
+# --------------------------------------------------------------------- #
+
+
+def uniform_queries(
+    rng: random.Random, count: int, width: int, max_range: int
+) -> list[tuple[int, int]]:
+    """Uniform range queries of span ``1..max_range``.
+
+    ``max_range`` is clamped to the key space so narrow widths stay valid
+    (the clamp is a no-op for the widths the test-suite seeds, keeping
+    historical workloads byte-identical).
+    """
+    top = (1 << width) - 1
+    max_range = min(max_range, top - 1)
+    if max_range < 1:
+        raise ValueError(
+            f"a {width}-bit key space is too narrow for uniform range queries"
+        )
+    queries = []
+    for _ in range(count):
+        lo = rng.randrange(top - max_range)
+        queries.append((lo, lo + rng.randrange(1, max_range + 1)))
+    return queries
+
+
+def point_queries(rng: random.Random, count: int, width: int) -> list[tuple[int, int]]:
+    """Uniform point queries."""
+    return [(k, k) for k in (rng.randrange(1 << width) for _ in range(count))]
+
+
+def correlated_queries(
+    rng: random.Random,
+    keys: Sequence[int],
+    count: int,
+    width: int,
+    max_offset: int = 32,
+    max_range: int = 64,
+) -> list[tuple[int, int]]:
+    """Near-miss ranges starting just above an existing key."""
+    top = (1 << width) - 1
+    queries = []
+    for _ in range(count):
+        key = keys[rng.randrange(len(keys))]
+        lo = min(top - 1, key + 1 + rng.randrange(max_offset))
+        queries.append((lo, min(top, lo + rng.randrange(1, max_range + 1))))
+    return queries
+
+
+def mixed_queries(
+    rng: random.Random, keys: Sequence[int], count: int, width: int
+) -> list[tuple[int, int]]:
+    """An even blend of uniform ranges, point queries and near-miss ranges."""
+    third = count // 3
+    return (
+        uniform_queries(rng, third, width, 1000)
+        + point_queries(rng, third, width)
+        + correlated_queries(rng, keys, count - 2 * third, width)
+    )
+
+
+# --------------------------------------------------------------------- #
+# Bundled array-backed workloads                                        #
+# --------------------------------------------------------------------- #
+
+KEY_DISTRIBUTIONS = {
+    "uniform": lambda rng, count, width: random_keys(rng, count, width),
+    "zipf": lambda rng, count, width: zipf_keys(rng, count, width),
+    "clustered": lambda rng, count, width: clustered_keys(rng, count, width),
+}
+
+QUERY_FAMILIES = {
+    "uniform": lambda rng, keys, count, width: uniform_queries(rng, count, width, 1000),
+    "point": lambda rng, keys, count, width: point_queries(rng, count, width),
+    "correlated": correlated_queries,
+    "mixed": mixed_queries,
+}
+
+
+def generate_workload(
+    num_keys: int,
+    num_queries: int,
+    width: int,
+    seed: int = 0,
+    key_dist: str = "uniform",
+    query_family: str = "mixed",
+) -> tuple[EncodedKeySet, QueryBatch]:
+    """Return a seeded ``(EncodedKeySet, QueryBatch)`` workload pair.
+
+    ``key_dist`` picks from :data:`KEY_DISTRIBUTIONS` and ``query_family``
+    from :data:`QUERY_FAMILIES`; the same ``seed`` always reproduces the
+    same workload byte-for-byte.
+    """
+    try:
+        make_keys = KEY_DISTRIBUTIONS[key_dist]
+    except KeyError:
+        raise ValueError(
+            f"unknown key distribution {key_dist!r}; "
+            f"expected one of {sorted(KEY_DISTRIBUTIONS)}"
+        ) from None
+    try:
+        make_queries = QUERY_FAMILIES[query_family]
+    except KeyError:
+        raise ValueError(
+            f"unknown query family {query_family!r}; "
+            f"expected one of {sorted(QUERY_FAMILIES)}"
+        ) from None
+    rng = random.Random(seed)
+    keys = make_keys(rng, num_keys, width)
+    queries = make_queries(rng, keys, num_queries, width)
+    return EncodedKeySet(keys, width), QueryBatch.from_pairs(queries, width)

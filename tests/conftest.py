@@ -1,65 +1,31 @@
 """Shared workload generators for the randomized test-suite.
 
-Everything is seeded: a failing test reproduces byte-for-byte.  Queries are
-inclusive ``(lo, hi)`` pairs; point queries are ``(k, k)``.  The mixed
-generator combines uniform ranges (mostly empty, far from keys) with
-correlated near-miss ranges (just above an existing key, sharing a long
-prefix with it) — the two workload families the paper designs against.
+The sampling itself lives in :mod:`repro.workloads.generators` — the
+package the test-suite is exercising — and is re-exported here so tests
+keep importing ``from conftest import ...``.  The generator implementations
+(and therefore every seeded workload) are unchanged from the original
+hand-rolled conftest versions: same ``random.Random`` call sequences, same
+seeds, byte-for-byte identical workloads.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Sequence
+from repro.workloads.generators import (
+    clustered_keys,
+    correlated_queries,
+    mixed_queries,
+    point_queries,
+    random_keys,
+    uniform_queries,
+    zipf_keys,
+)
 
-
-def random_keys(rng: random.Random, count: int, width: int) -> list[int]:
-    """Return ``count`` distinct uniform ``width``-bit keys."""
-    return rng.sample(range(1 << width), count)
-
-
-def uniform_queries(
-    rng: random.Random, count: int, width: int, max_range: int
-) -> list[tuple[int, int]]:
-    """Uniform range queries of span ``1..max_range``."""
-    top = (1 << width) - 1
-    queries = []
-    for _ in range(count):
-        lo = rng.randrange(top - max_range)
-        queries.append((lo, lo + rng.randrange(1, max_range + 1)))
-    return queries
-
-
-def point_queries(rng: random.Random, count: int, width: int) -> list[tuple[int, int]]:
-    """Uniform point queries."""
-    return [(k, k) for k in (rng.randrange(1 << width) for _ in range(count))]
-
-
-def correlated_queries(
-    rng: random.Random,
-    keys: Sequence[int],
-    count: int,
-    width: int,
-    max_offset: int = 32,
-    max_range: int = 64,
-) -> list[tuple[int, int]]:
-    """Near-miss ranges starting just above an existing key."""
-    top = (1 << width) - 1
-    queries = []
-    for _ in range(count):
-        key = keys[rng.randrange(len(keys))]
-        lo = min(top - 1, key + 1 + rng.randrange(max_offset))
-        queries.append((lo, min(top, lo + rng.randrange(1, max_range + 1))))
-    return queries
-
-
-def mixed_queries(
-    rng: random.Random, keys: Sequence[int], count: int, width: int
-) -> list[tuple[int, int]]:
-    """An even blend of uniform ranges, point queries and near-miss ranges."""
-    third = count // 3
-    return (
-        uniform_queries(rng, third, width, 1000)
-        + point_queries(rng, third, width)
-        + correlated_queries(rng, keys, count - 2 * third, width)
-    )
+__all__ = [
+    "random_keys",
+    "zipf_keys",
+    "clustered_keys",
+    "uniform_queries",
+    "point_queries",
+    "correlated_queries",
+    "mixed_queries",
+]

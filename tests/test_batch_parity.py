@@ -1,0 +1,249 @@
+"""Scalar-vs-batched parity: the batched execution layer must be a pure
+re-statement of the scalar reference paths.
+
+Three layers of parity are pinned:
+
+* every filter's ``may_contain_many`` / ``may_intersect_many`` equals a
+  loop over the scalar ``may_contain`` / ``may_intersect`` — including the
+  filters that only have the base-class fallback (SuRF, Rosetta) and the
+  object-dtype fallback for wide key spaces;
+* the vectorised CPFPR model agrees with the scalar model (``vectorize=
+  False``) to float-summation noise across a grid of design points;
+* Algorithm 1 picks the *identical design point* through either model on
+  seeded workloads (expected FPR may differ in the last ulps — the design
+  fields must match exactly).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from conftest import correlated_queries, mixed_queries, random_keys
+from repro.amq.bloom import BloomFilter
+from repro.core.cpfpr import CPFPRModel
+from repro.core.design import design_one_pbf, design_proteus, design_two_pbf
+from repro.core.prf import OnePBF, TwoPBF
+from repro.core.proteus import Proteus
+from repro.filters.base import TrieOracle
+from repro.filters.prefix_bloom import PrefixBloomFilter
+from repro.filters.rosetta import Rosetta
+from repro.filters.surf import SuRF
+from repro.keys.keyspace import IntegerKeySpace
+from repro.workloads.batch import QueryBatch
+
+WIDTH = 32
+NUM_KEYS = 2000
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = random.Random(71)
+    keys = random_keys(rng, NUM_KEYS, WIDTH)
+    queries = mixed_queries(rng, keys, 600, WIDTH)
+    probes = keys[:200] + [rng.randrange(1 << WIDTH) for _ in range(400)]
+    return keys, queries, probes
+
+
+FILTER_FACTORIES = {
+    "oracle": lambda keys, queries: TrieOracle(keys, WIDTH),
+    "prefix_bloom": lambda keys, queries: PrefixBloomFilter(
+        keys, WIDTH, prefix_len=16, num_bits=24_000
+    ),
+    "surf": lambda keys, queries: SuRF(keys, WIDTH),
+    "rosetta": lambda keys, queries: Rosetta(
+        keys, WIDTH, total_bits=32_000, num_levels=16
+    ),
+    "one_pbf": lambda keys, queries: OnePBF.build(
+        keys, queries, bits_per_key=12, key_space=IntegerKeySpace(WIDTH)
+    ),
+    "two_pbf": lambda keys, queries: TwoPBF.build(
+        keys, queries, bits_per_key=12, key_space=IntegerKeySpace(WIDTH)
+    ),
+    "proteus": lambda keys, queries: Proteus.build(
+        keys, queries, bits_per_key=12, key_space=IntegerKeySpace(WIDTH)
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(FILTER_FACTORIES))
+def test_filter_batch_equals_scalar_loop(name, workload):
+    keys, queries, probes = workload
+    filt = FILTER_FACTORIES[name](keys, queries)
+    point_batch = filt.may_contain_many(np.array(probes, dtype=np.int64))
+    point_loop = [filt.may_contain(key) for key in probes]
+    assert point_batch.dtype == bool and list(point_batch) == point_loop, name
+    range_batch = filt.may_intersect_many(QueryBatch.from_pairs(queries, WIDTH))
+    range_loop = [filt.may_intersect(lo, hi) for lo, hi in queries]
+    assert range_batch.dtype == bool and list(range_batch) == range_loop, name
+
+
+def test_batch_accepts_plain_pair_iterables(workload):
+    keys, queries, _ = workload
+    filt = PrefixBloomFilter(keys, WIDTH, prefix_len=16, num_bits=24_000)
+    from_pairs = filt.may_intersect_many(queries)
+    from_batch = filt.may_intersect_many(QueryBatch.from_pairs(queries, WIDTH))
+    assert (from_pairs == from_batch).all()
+
+
+def test_empty_filter_batch_answers():
+    filt = PrefixBloomFilter([], WIDTH, prefix_len=16, num_bits=1024)
+    assert not filt.may_contain_many([1, 2, 3]).any()
+    assert not filt.may_intersect_many([(0, 5), (9, 9)]).any()
+    oracle = TrieOracle([], WIDTH)
+    assert not oracle.may_intersect_many([(0, (1 << WIDTH) - 1)]).any()
+
+
+def test_one_pbf_wide_space_batch_takes_encoded_keys():
+    # Regression: the object-dtype fallback used to route already-encoded
+    # keys back through OnePBF.may_contain, which re-encodes raw keys —
+    # double-encoding crashed or produced false negatives.
+    from repro.keys.keyspace import StringKeySpace
+
+    words = ["strawberry-fields", "marmalade-skies", "tangerine-trees"]
+    space = StringKeySpace.for_keys(words)
+    filt = OnePBF.build(
+        words, [("a", "b"), ("tang", "tanh")], bits_per_key=16, key_space=space
+    )
+    encoded = [space.encode(word) for word in words]
+    assert filt.may_contain_many(encoded).all()
+    # The batch API speaks the encoded domain; the scalar API encodes raw
+    # keys itself — the two must agree query-for-query.
+    raw_queries = [("tang", "tanh"), ("a", "b")]
+    batch = QueryBatch.from_raw(raw_queries, space)
+    assert not batch.is_vector
+    assert list(filt.may_intersect_many(batch)) == [
+        filt.may_intersect(lo, hi) for lo, hi in raw_queries
+    ]
+
+
+def test_width_63_full_space_query_does_not_overflow():
+    # Regression: the slot count (span + 1) of the full-space query in a
+    # 63-bit space overflowed int64, crashing the batched path where the
+    # scalar path returned the clamped conservative True.
+    width = 63
+    top = (1 << width) - 1
+    keys = [5, 1000, 1 << 62]
+    full_space = [(0, top), (1, top - 1)]
+    pbf = PrefixBloomFilter(keys, width, prefix_len=width, num_bits=4096)
+    assert list(pbf.may_intersect_many(full_space)) == [
+        pbf.may_intersect(lo, hi) for lo, hi in full_space
+    ]
+    proteus = Proteus.build(
+        keys, full_space + [(7, 9)], bits_per_key=16,
+        key_space=IntegerKeySpace(width),
+    )
+    assert list(proteus.may_intersect_many(full_space)) == [
+        proteus.may_intersect(lo, hi) for lo, hi in full_space
+    ]
+    model = CPFPRModel(keys, width, full_space + [(7, 9)])
+    scalar = CPFPRModel(keys, width, full_space + [(7, 9)], vectorize=False)
+    assert model.proteus_fpr(0, width, 4096) == pytest.approx(
+        scalar.proteus_fpr(0, width, 4096), abs=1e-12
+    )
+    assert model.two_pbf_fpr(1, width, 2048, 2048) == pytest.approx(
+        scalar.two_pbf_fpr(1, width, 2048, 2048), abs=1e-12
+    )
+    assert QueryBatch.from_pairs(full_space, width).spans()[0] == 1 << width
+
+
+def test_wide_key_space_falls_back_to_scalar_loop():
+    # 80-bit keys: object-dtype batches, every filter must route through
+    # the scalar fallback and still answer identically to the loop.
+    width = 80
+    keys = [1 << 70, (1 << 70) + 5, 3, 1 << 79]
+    filt = PrefixBloomFilter(keys, width, prefix_len=40, num_bits=4096)
+    queries = [(0, 10), (1 << 70, (1 << 70) + 2), (1 << 60, 1 << 61)]
+    batch = QueryBatch.from_pairs(queries, width)
+    assert not batch.is_vector
+    assert list(filt.may_intersect_many(batch)) == [
+        filt.may_intersect(lo, hi) for lo, hi in queries
+    ]
+    assert list(filt.may_contain_many(keys)) == [filt.may_contain(k) for k in keys]
+
+
+def test_bloom_bulk_equals_scalar(workload):
+    keys, _, probes = workload
+    scalar = BloomFilter(20_000, len(keys), seed=5)
+    bulk = BloomFilter(20_000, len(keys), seed=5)
+    for key in keys:
+        scalar.add(key)
+    bulk.add_many(np.array(keys, dtype=np.int64))
+    assert scalar.bits.to_bytes() == bulk.bits.to_bytes()
+    assert scalar.inserted_items == bulk.inserted_items
+    answers = bulk.contains_many(np.array(probes, dtype=np.int64))
+    assert list(answers) == [scalar.contains(key) for key in probes]
+
+
+class TestModelParity:
+    @pytest.fixture(scope="class")
+    def models(self):
+        rng = random.Random(72)
+        keys = random_keys(rng, 3000, WIDTH)
+        queries = mixed_queries(rng, keys, 800, WIDTH)
+        vector = CPFPRModel(keys, WIDTH, queries)
+        scalar = CPFPRModel(keys, WIDTH, queries, vectorize=False)
+        assert vector._vector and not scalar._vector
+        return vector, scalar
+
+    def test_preprocessing_identical(self, models):
+        vector, scalar = models
+        assert vector.empty_queries == scalar.empty_queries
+        assert vector.prefix_counts == scalar.prefix_counts
+        assert vector._lcp_at_least == scalar._lcp_at_least
+
+    def test_proteus_fpr_grid(self, models):
+        vector, scalar = models
+        for l1 in range(0, WIDTH, 4):
+            for l2 in range(l1 + 1, WIDTH + 1, 3):
+                a = vector.proteus_fpr(l1, l2, 30_000)
+                b = scalar.proteus_fpr(l1, l2, 30_000)
+                assert a == pytest.approx(b, abs=1e-12), (l1, l2)
+            assert vector.proteus_fpr(l1, 0, 0) == pytest.approx(
+                scalar.proteus_fpr(l1, 0, 0), abs=1e-12
+            )
+
+    def test_two_pbf_fpr_grid(self, models):
+        vector, scalar = models
+        for l1 in (1, 4, 8, 16):
+            for l2 in (l1 + 1, l1 + 8, WIDTH):
+                if l2 > WIDTH:
+                    continue
+                a = vector.two_pbf_fpr(l1, l2, 15_000, 15_000)
+                b = scalar.two_pbf_fpr(l1, l2, 15_000, 15_000)
+                assert a == pytest.approx(b, abs=1e-12), (l1, l2)
+
+
+def _same_design_point(a, b):
+    return (
+        a.kind == b.kind
+        and a.trie_depth == b.trie_depth
+        and a.bloom_prefix_len == b.bloom_prefix_len
+        and a.trie_bits == b.trie_bits
+        and a.bloom_bits == b.bloom_bits
+    )
+
+
+@pytest.mark.parametrize("seed", [73, 74, 75])
+@pytest.mark.parametrize("family", ["mixed", "correlated"])
+def test_algorithm1_identical_design_through_either_model(seed, family):
+    rng = random.Random(seed)
+    keys = random_keys(rng, 2500, WIDTH)
+    if family == "mixed":
+        queries = mixed_queries(rng, keys, 500, WIDTH)
+    else:
+        queries = correlated_queries(rng, keys, 500, WIDTH)
+    vector = CPFPRModel(keys, WIDTH, queries)
+    scalar = CPFPRModel(keys, WIDTH, queries, vectorize=False)
+    budget = 30_000
+    for search in (design_proteus, design_one_pbf, design_two_pbf):
+        via_vector = search(vector, budget)
+        via_scalar = search(scalar, budget)
+        assert _same_design_point(via_vector, via_scalar), (
+            search.__name__,
+            via_vector,
+            via_scalar,
+        )
+        assert via_vector.expected_fpr == pytest.approx(
+            via_scalar.expected_fpr, abs=1e-12
+        )

@@ -13,7 +13,7 @@ import pytest
 from conftest import correlated_queries, mixed_queries, random_keys
 from repro.core.cpfpr import CPFPRModel
 from repro.core.design import design_one_pbf, design_proteus
-from repro.core.prf import OnePBF
+from repro.core.prf import OnePBF, TwoPBF
 from repro.core.proteus import Proteus
 from repro.filters.base import TrieOracle
 from repro.keys.keyspace import IntegerKeySpace
@@ -115,6 +115,31 @@ class TestModelVsEmpirical:
         keys = random_keys(rng, 10_000, WIDTH)
         queries = correlated_queries(rng, keys, 1000, WIDTH)
         filt = Proteus.build(
+            keys, queries, bits_per_key=12, key_space=IntegerKeySpace(WIDTH)
+        )
+        oracle = TrieOracle(keys, WIDTH)
+        empirical, empty = _empirical_fpr(filt, oracle, queries)
+        _assert_within_2x(empirical, filt.expected_fpr, empty)
+
+    def test_two_pbf_agreement_mixed_10k(self):
+        # The 2PBF model multiplies the two layers' false-positive
+        # probabilities (independent seeds); this validates that
+        # independence assumption at the same scale as the Proteus tests.
+        rng = random.Random(39)
+        keys = random_keys(rng, 10_000, WIDTH)
+        queries = mixed_queries(rng, keys, 1000, WIDTH)
+        filt = TwoPBF.build(
+            keys, queries, bits_per_key=12, key_space=IntegerKeySpace(WIDTH)
+        )
+        oracle = TrieOracle(keys, WIDTH)
+        empirical, empty = _empirical_fpr(filt, oracle, queries)
+        _assert_within_2x(empirical, filt.expected_fpr, empty)
+
+    def test_two_pbf_agreement_correlated_10k(self):
+        rng = random.Random(43)
+        keys = random_keys(rng, 10_000, WIDTH)
+        queries = correlated_queries(rng, keys, 1000, WIDTH)
+        filt = TwoPBF.build(
             keys, queries, bits_per_key=12, key_space=IntegerKeySpace(WIDTH)
         )
         oracle = TrieOracle(keys, WIDTH)

@@ -1,0 +1,170 @@
+"""Tests for the repro.workloads package: batch types and generators."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.keys.keyspace import StringKeySpace
+from repro.keys.lcp import (
+    bit_length_many,
+    lcp_bits,
+    lcp_bits_many,
+    query_set_lcp,
+    query_set_lcp_many,
+    unique_prefix_counts,
+    unique_prefix_counts_array,
+)
+from repro.workloads import (
+    EncodedKeySet,
+    QueryBatch,
+    clustered_keys,
+    generate_workload,
+    random_keys,
+    zipf_keys,
+)
+
+WIDTH = 32
+
+
+class TestVectorisedLcpHelpers:
+    def test_bit_length_many_matches_python(self):
+        rng = random.Random(1)
+        values = [0, 1, 2, 3, (1 << 63) - 1] + [rng.randrange(1 << 63) for _ in range(500)]
+        arr = np.array(values, dtype=np.int64)
+        assert bit_length_many(arr).tolist() == [v.bit_length() for v in values]
+
+    def test_lcp_bits_many_matches_scalar(self):
+        rng = random.Random(2)
+        a = [rng.randrange(1 << WIDTH) for _ in range(300)]
+        b = [rng.randrange(1 << WIDTH) for _ in range(300)]
+        batch = lcp_bits_many(
+            np.array(a, dtype=np.int64), np.array(b, dtype=np.int64), WIDTH
+        )
+        assert batch.tolist() == [lcp_bits(x, y, WIDTH) for x, y in zip(a, b)]
+
+    def test_unique_prefix_counts_array_matches_scalar(self):
+        rng = random.Random(3)
+        keys = sorted(set(rng.randrange(1 << WIDTH) for _ in range(800)))
+        arr = np.array(keys, dtype=np.int64)
+        assert unique_prefix_counts_array(arr, WIDTH).tolist() == (
+            unique_prefix_counts(keys, WIDTH)
+        )
+        assert unique_prefix_counts_array(np.array([], dtype=np.int64), 8).tolist() == (
+            unique_prefix_counts([], 8)
+        )
+        assert unique_prefix_counts_array(np.array([7], dtype=np.int64), 8).tolist() == (
+            unique_prefix_counts([7], 8)
+        )
+
+    def test_query_set_lcp_many_matches_scalar(self):
+        rng = random.Random(4)
+        keys = sorted(set(rng.randrange(1 << WIDTH) for _ in range(500)))
+        arr = np.array(keys, dtype=np.int64)
+        queries = []
+        for _ in range(400):
+            lo = rng.randrange(1 << WIDTH)
+            queries.append((lo, min((1 << WIDTH) - 1, lo + rng.randrange(1, 2000))))
+        los = np.array([lo for lo, _ in queries], dtype=np.int64)
+        his = np.array([hi for _, hi in queries], dtype=np.int64)
+        batch = query_set_lcp_many(arr, los, his, WIDTH)
+        assert batch.tolist() == [
+            query_set_lcp(keys, lo, hi, WIDTH) for lo, hi in queries
+        ]
+
+
+class TestEncodedKeySet:
+    def test_sorted_distinct_and_bounds(self):
+        ks = EncodedKeySet([5, 1, 5, 3], 8)
+        assert ks.as_list() == [1, 3, 5]
+        assert len(ks) == 3 and ks.is_vector
+        with pytest.raises(ValueError):
+            EncodedKeySet([300], 8)
+        with pytest.raises(ValueError):
+            EncodedKeySet([-1], 8)
+
+    def test_prefixes_and_counts(self):
+        ks = EncodedKeySet([0b0001, 0b0010, 0b1000], 4)
+        assert ks.prefixes(1).tolist() == [0, 1]
+        assert ks.prefixes(2).tolist() == [0b00, 0b10]
+        assert ks.prefix_counts() == unique_prefix_counts([1, 2, 8], 4)
+
+    def test_wide_space_object_fallback(self):
+        ks = EncodedKeySet([1 << 127, 5], 128)
+        assert not ks.is_vector
+        assert ks.as_list() == [5, 1 << 127]
+        assert ks.prefixes(1).tolist() == [0, 1]
+        assert ks.prefix_counts()[0] == 1
+
+    def test_from_raw_string_key_space(self):
+        space = StringKeySpace(4)
+        ks = EncodedKeySet.from_raw([b"abc", b"abd"], space)
+        assert ks.width == 32 and len(ks) == 2
+
+
+class TestQueryBatch:
+    def test_roundtrip_and_points(self):
+        batch = QueryBatch.from_pairs([(1, 4), (9, 9)], 8)
+        assert batch.to_list() == [(1, 4), (9, 9)]
+        assert batch.spans().tolist() == [4, 1]
+        points = QueryBatch.points([3, 7], 8)
+        assert points.to_list() == [(3, 3), (7, 7)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryBatch.from_pairs([(5, 3)], 8)
+        with pytest.raises(ValueError):
+            QueryBatch.from_pairs([(-2, 3)], 8)
+        with pytest.raises(ValueError):
+            QueryBatch.from_pairs([(0, 256)], 8)
+        with pytest.raises(ValueError):
+            QueryBatch.from_pairs([(0, 1 << 70)], 16)
+
+    def test_empty_batch(self):
+        batch = QueryBatch.from_pairs([], 8)
+        assert len(batch) == 0 and batch.to_list() == []
+
+
+class TestGenerators:
+    def test_deterministic_and_distinct(self):
+        for generator in (random_keys, zipf_keys, clustered_keys):
+            first = generator(random.Random(11), 2000, WIDTH)
+            second = generator(random.Random(11), 2000, WIDTH)
+            assert first == second, generator.__name__
+            assert len(set(first)) == 2000, generator.__name__
+            assert all(0 <= key < (1 << WIDTH) for key in first), generator.__name__
+
+    def test_distribution_shapes(self):
+        # Zipf keys pile up low: the median is far below the space midpoint.
+        zipf = zipf_keys(random.Random(12), 2000, WIDTH)
+        assert sorted(zipf)[1000] < (1 << WIDTH) // 4
+        # Clustered keys have long runs of shared high bits: many adjacent
+        # pairs agree on their top 16 bits, unlike uniform keys.
+        clustered = sorted(clustered_keys(random.Random(13), 2000, WIDTH))
+        close = sum(
+            1
+            for a, b in zip(clustered, clustered[1:])
+            if (a >> 16) == (b >> 16)
+        )
+        assert close > 1000
+
+    def test_saturated_spaces_top_up(self):
+        assert len(set(zipf_keys(random.Random(14), 256, 8))) == 256
+        assert len(set(clustered_keys(random.Random(15), 256, 8))) == 256
+        with pytest.raises(ValueError):
+            zipf_keys(random.Random(16), 300, 8)
+
+    def test_generate_workload(self):
+        keys, batch = generate_workload(
+            1000, 400, WIDTH, seed=17, key_dist="clustered", query_family="correlated"
+        )
+        assert len(keys) == 1000 and len(batch) == 400
+        keys2, batch2 = generate_workload(
+            1000, 400, WIDTH, seed=17, key_dist="clustered", query_family="correlated"
+        )
+        assert keys.as_list() == keys2.as_list()
+        assert batch.to_list() == batch2.to_list()
+        with pytest.raises(ValueError, match="key distribution"):
+            generate_workload(10, 10, 8, key_dist="nope")
+        with pytest.raises(ValueError, match="query family"):
+            generate_workload(10, 10, 8, query_family="nope")
