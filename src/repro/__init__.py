@@ -22,12 +22,18 @@ The package is organised as a set of small, focused subpackages:
     Array-backed workloads: ``EncodedKeySet``/``QueryBatch`` (the shared
     batch representation every vectorised path consumes) and the seeded
     synthetic generators (uniform/zipf/clustered keys, mixed query families).
+``repro.api``
+    The unified construction API: ``FilterSpec`` (declarative, JSON
+    round-trippable build requests), the ``register_family`` registry, the
+    ``build_filter(spec, keys, workload)`` protocol and the ``Workload``
+    bundle.
 ``repro.lsm``
-    (planned) A RocksDB-style LSM tree substrate with per-SST range filters.
+    (planned) A RocksDB-style LSM tree substrate with per-SST range filters
+    constructed via ``FilterSpec``.
 ``repro.evaluation``
-    Benchmark harness (``python -m repro.evaluation.bench``) timing the
-    batched execution paths against their scalar references; figure drivers
-    are still planned.
+    Benchmark harness (``python -m repro.evaluation.bench``) and the
+    FPR-vs-bits-per-key sweep driver (``python -m repro.evaluation.sweep``)
+    that regenerates the paper's core figure family.
 
 The most common entry points are re-exported here.  Re-exports resolve
 lazily (PEP 562): a missing or broken subpackage surfaces as an error when
@@ -46,6 +52,7 @@ _LAZY_EXPORTS = {
     "RangeFilter": "repro.filters.base",
     "TrieOracle": "repro.filters.base",
     "PrefixBloomFilter": "repro.filters.prefix_bloom",
+    "PointBloomFilter": "repro.filters.prefix_bloom",
     "Rosetta": "repro.filters.rosetta",
     "SuRF": "repro.filters.surf",
     "KeySpace": "repro.keys.keyspace",
@@ -54,11 +61,16 @@ _LAZY_EXPORTS = {
     "EncodedKeySet": "repro.workloads.batch",
     "QueryBatch": "repro.workloads.batch",
     "generate_workload": "repro.workloads.generators",
+    "FilterSpec": "repro.api",
+    "Workload": "repro.api",
+    "build_filter": "repro.api",
+    "register_family": "repro.api",
+    "registered_families": "repro.api",
 }
 
 __all__ = list(_LAZY_EXPORTS)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 
 def __getattr__(name: str):

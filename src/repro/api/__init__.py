@@ -1,0 +1,42 @@
+"""The unified filter-construction API: spec → registry → filter.
+
+Three pieces, one protocol:
+
+* :class:`~repro.api.spec.FilterSpec` — a frozen, JSON-round-trippable
+  construction request: ``family`` + family params + ``bits_per_key``;
+* :class:`~repro.api.workload.Workload` — the encoded key set + query
+  sample bundle builders consume;
+* :func:`~repro.api.registry.build_filter` — the single entry point that
+  dispatches a spec through the :func:`~repro.api.registry.register_family`
+  registry to the family's ``from_spec(spec, keys, workload)`` classmethod.
+
+>>> from repro.api import FilterSpec, Workload, build_filter
+>>> w = Workload.generate(num_keys=10_000, num_queries=2_000, width=32, seed=7)
+>>> filt = build_filter(FilterSpec("proteus", bits_per_key=14), w.keys, w)
+>>> filt.may_intersect_many(w.queries)  # doctest: +SKIP
+
+Self-designing families (``proteus``, ``1pbf``, ``2pbf``) require the
+workload — its query sample is what Algorithm 1 optimises against; the
+fixed baselines (``surf``, ``rosetta``, ``prefix_bloom``, ``bloom``) derive
+their internal knobs from the budget as the paper's experimental setup does.
+"""
+
+from repro.api.registry import (
+    FilterFamily,
+    build_filter,
+    family,
+    register_family,
+    registered_families,
+)
+from repro.api.spec import FilterSpec
+from repro.api.workload import Workload
+
+__all__ = [
+    "FilterSpec",
+    "Workload",
+    "FilterFamily",
+    "register_family",
+    "registered_families",
+    "family",
+    "build_filter",
+]

@@ -1,0 +1,96 @@
+"""`FilterSpec`: a declarative, serialisable filter-construction request.
+
+A spec names *what* to build — a filter ``family`` from the registry, its
+family-specific ``params``, and the ``bits_per_key`` budget — without saying
+*how*: the family's ``from_spec(spec, keys, workload)`` classmethod owns the
+translation from budget to internal knobs (trie depth, level count, prefix
+length, hash count).  Specs are frozen and JSON round-trippable
+(``from_dict(to_dict(s)) == s``) so every built filter can be logged,
+compared, and replayed by the benchmark and sweep drivers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from types import MappingProxyType
+from typing import Any, Mapping
+
+__all__ = ["FilterSpec"]
+
+_SPEC_KEYS = frozenset({"family", "bits_per_key", "params"})
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """One filter-construction request: family + params + bit budget.
+
+    ``params`` holds the family-specific knobs (each family's ``from_spec``
+    validates the names it accepts); it is stored behind a read-only mapping
+    proxy so a spec, once created, cannot drift from what was logged.
+    """
+
+    family: str
+    bits_per_key: float = 16.0
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not isinstance(self.family, str) or not self.family:
+            raise ValueError("family must be a non-empty string")
+        bits = float(self.bits_per_key)
+        if not bits > 0:
+            raise ValueError(f"bits_per_key must be positive, got {self.bits_per_key}")
+        object.__setattr__(self, "bits_per_key", bits)
+        object.__setattr__(self, "params", MappingProxyType(dict(self.params)))
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash would raise on the mapping
+        # proxy; hash the canonical item tuple instead so specs work as
+        # dict keys (per-spec filter caches, sweep-point dedupe).
+        return hash((self.family, self.bits_per_key, tuple(sorted(self.params.items()))))
+
+    # ------------------------------------------------------------------ #
+    # JSON round-trip                                                    #
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """Return a plain-dict form suitable for ``json.dumps``."""
+        return {
+            "family": self.family,
+            "bits_per_key": self.bits_per_key,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FilterSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected, not dropped."""
+        unknown = sorted(set(data) - _SPEC_KEYS)
+        if unknown:
+            raise ValueError(f"unknown FilterSpec field(s) {unknown}")
+        if "family" not in data:
+            raise ValueError("a FilterSpec dict needs a 'family' field")
+        params = data.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ValueError("'params' must be a mapping")
+        return cls(data["family"], data.get("bits_per_key", 16.0), params)
+
+    def to_json(self) -> str:
+        """Serialise to a canonical (sorted-key) JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FilterSpec":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------ #
+    # Derivation helpers                                                 #
+    # ------------------------------------------------------------------ #
+
+    def with_budget(self, bits_per_key: float) -> "FilterSpec":
+        """Return the same spec at a different budget (the sweep's inner move)."""
+        return replace(self, bits_per_key=bits_per_key)
+
+    def with_params(self, **params: Any) -> "FilterSpec":
+        """Return the spec with ``params`` merged over the existing ones."""
+        return replace(self, params={**self.params, **params})

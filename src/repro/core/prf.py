@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.cpfpr import DEFAULT_MAX_PROBES, CPFPRModel
 from repro.core.design import FilterDesign, design_one_pbf, design_two_pbf
-from repro.filters.base import RangeFilter
+from repro.filters.base import RangeFilter, check_spec_params, resolve_spec_inputs
 from repro.filters.prefix_bloom import PrefixBloomFilter
 from repro.keys.keyspace import IntegerKeySpace, KeySpace, sorted_distinct_keys
 from repro.workloads.batch import EncodedKeySet, QueryBatch, as_key_array, coerce_query_batch
@@ -68,12 +68,57 @@ def prepare_workload(
     return space, key_set, query_batch, total_bits
 
 
+def _build_via_spec(
+    cls,
+    family: str,
+    keys: Sequence,
+    sample_queries: Iterable[tuple],
+    bits_per_key: float,
+    key_space: KeySpace | None,
+    max_probes: int,
+    seed: int,
+):
+    """Shared body of the legacy ``build`` classmethods: encode the raw
+    workload once and delegate to the registry protocol's ``from_spec``."""
+    from repro.api import FilterSpec, Workload  # api sits above core
+
+    space, key_set, query_batch, _ = prepare_workload(
+        keys, sample_queries, key_space, bits_per_key
+    )
+    spec = FilterSpec(family, bits_per_key, {"max_probes": max_probes, "seed": seed})
+    return cls.from_spec(spec, key_set, Workload(key_set, query_batch, key_space=space))
+
+
 class OnePBF(PrefixBloomFilter):
     """A one-layer protean Bloom filter: a PrefixBloomFilter that chose its
     own prefix length."""
 
     #: The design point Algorithm 1 selected (None when constructed directly).
     design: FilterDesign | None = None
+
+    @classmethod
+    def from_spec(cls, spec, keys=None, workload=None) -> "OnePBF":
+        """Registry protocol: self-design the prefix length over the workload."""
+        if workload is None:
+            raise ValueError(
+                "the self-designing '1pbf' family needs a workload (query sample)"
+            )
+        params = check_spec_params(spec, ("max_probes", "seed"))
+        max_probes = int(params.get("max_probes", DEFAULT_MAX_PROBES))
+        key_set, total_bits = resolve_spec_inputs(spec, keys, workload)
+        model = CPFPRModel(key_set, key_set.width, workload.queries, max_probes)
+        design = design_one_pbf(model, total_bits)
+        instance = cls(
+            key_set.keys,
+            key_set.width,
+            design.bloom_prefix_len,
+            design.bloom_bits,
+            max_probes=max_probes,
+            seed=int(params.get("seed", 0)),
+        )
+        instance.design = design
+        instance.key_space = workload.key_space
+        return instance
 
     @classmethod
     def build(
@@ -85,23 +130,14 @@ class OnePBF(PrefixBloomFilter):
         max_probes: int = DEFAULT_MAX_PROBES,
         seed: int = 0,
     ) -> "OnePBF":
-        """Self-design over a query sample and instantiate the chosen 1PBF."""
-        space, key_set, query_batch, total_bits = prepare_workload(
-            keys, sample_queries, key_space, bits_per_key
+        """Self-design over a query sample and instantiate the chosen 1PBF.
+
+        A shim over :meth:`from_spec` (see :meth:`Proteus.build
+        <repro.core.proteus.Proteus.build>`)."""
+        return _build_via_spec(
+            cls, "1pbf", keys, sample_queries, bits_per_key, key_space,
+            max_probes, seed,
         )
-        model = CPFPRModel(key_set, space.width, query_batch, max_probes)
-        design = design_one_pbf(model, total_bits)
-        instance = cls(
-            key_set.keys,
-            space.width,
-            design.bloom_prefix_len,
-            design.bloom_bits,
-            max_probes=max_probes,
-            seed=seed,
-        )
-        instance.design = design
-        instance.key_space = space
-        return instance
 
     @property
     def expected_fpr(self) -> float:
@@ -151,22 +187,18 @@ class TwoPBF(RangeFilter):
         )
 
     @classmethod
-    def build(
-        cls,
-        keys: Sequence,
-        sample_queries: Iterable[tuple],
-        bits_per_key: float = 16.0,
-        key_space: KeySpace | None = None,
-        max_probes: int = DEFAULT_MAX_PROBES,
-        seed: int = 0,
-    ) -> "TwoPBF":
-        """Self-design over a query sample and instantiate the chosen 2PBF."""
-        space, key_set, query_batch, total_bits = prepare_workload(
-            keys, sample_queries, key_space, bits_per_key
-        )
-        if space.width < 2:
+    def from_spec(cls, spec, keys=None, workload=None) -> "TwoPBF":
+        """Registry protocol: self-design both layers over the workload."""
+        if workload is None:
+            raise ValueError(
+                "the self-designing '2pbf' family needs a workload (query sample)"
+            )
+        params = check_spec_params(spec, ("max_probes", "seed"))
+        max_probes = int(params.get("max_probes", DEFAULT_MAX_PROBES))
+        key_set, total_bits = resolve_spec_inputs(spec, keys, workload)
+        if key_set.width < 2:
             raise ValueError("a 2PBF needs a key space of at least 2 bits")
-        model = CPFPRModel(key_set, space.width, query_batch, max_probes)
+        model = CPFPRModel(key_set, key_set.width, workload.queries, max_probes)
         design = design_two_pbf(model, total_bits)
         if design.kind == "1pbf":
             # Budget admitted only one layer: widen it into a degenerate 2PBF
@@ -174,7 +206,7 @@ class TwoPBF(RangeFilter):
             # Each layer needs at least one bit, and the CPFPR prediction is
             # re-evaluated at the synthesized design point — the 1PBF figure
             # describes a different structure.
-            second_len = min(space.width, max(design.bloom_prefix_len, 2))
+            second_len = min(key_set.width, max(design.bloom_prefix_len, 2))
             first_len = second_len // 2
             first_bits = max(1, design.bloom_bits // 2)
             second_bits = max(1, design.bloom_bits - design.bloom_bits // 2)
@@ -188,17 +220,36 @@ class TwoPBF(RangeFilter):
             )
         instance = cls(
             key_set.keys,
-            space.width,
+            key_set.width,
             design.trie_depth,
             design.bloom_prefix_len,
             design.trie_bits,
             design.bloom_bits,
             max_probes=max_probes,
-            seed=seed,
+            seed=int(params.get("seed", 0)),
         )
         instance.design = design
-        instance.key_space = space
+        instance.key_space = workload.key_space
         return instance
+
+    @classmethod
+    def build(
+        cls,
+        keys: Sequence,
+        sample_queries: Iterable[tuple],
+        bits_per_key: float = 16.0,
+        key_space: KeySpace | None = None,
+        max_probes: int = DEFAULT_MAX_PROBES,
+        seed: int = 0,
+    ) -> "TwoPBF":
+        """Self-design over a query sample and instantiate the chosen 2PBF.
+
+        A shim over :meth:`from_spec` (see :meth:`Proteus.build
+        <repro.core.proteus.Proteus.build>`)."""
+        return _build_via_spec(
+            cls, "2pbf", keys, sample_queries, bits_per_key, key_space,
+            max_probes, seed,
+        )
 
     @property
     def expected_fpr(self) -> float:

@@ -30,8 +30,13 @@ import numpy as np
 from repro.amq.bloom import BloomFilter
 from repro.core.cpfpr import DEFAULT_MAX_PROBES, CPFPRModel
 from repro.core.design import FilterDesign, design_proteus
-from repro.core.prf import prepare_workload
-from repro.filters.base import RangeFilter, ragged_ranges
+from repro.core.prf import _build_via_spec
+from repro.filters.base import (
+    RangeFilter,
+    check_spec_params,
+    ragged_ranges,
+    resolve_spec_inputs,
+)
 from repro.keys.keyspace import KeySpace, sorted_distinct_keys
 from repro.keys.lcp import MAX_VECTOR_WIDTH
 from repro.keys.prefix import distinct_prefixes
@@ -75,6 +80,32 @@ class Proteus(RangeFilter):
             self._bloom.add_many(prefixes)
 
     @classmethod
+    def from_spec(cls, spec, keys=None, workload=None) -> "Proteus":
+        """Registry protocol: CPFPR model → Algorithm 1 → instantiate the winner.
+
+        A self-designing family: the workload's query sample *is* the input
+        Algorithm 1 optimises against, so ``workload`` is required.  ``keys``
+        defaults to the workload's key set; passing a subset (an LSM
+        per-SST slice, say) designs against the shared sample but builds
+        over just those keys.
+        """
+        if workload is None:
+            raise ValueError(
+                "the self-designing 'proteus' family needs a workload (query sample)"
+            )
+        params = check_spec_params(spec, ("max_probes", "seed"))
+        max_probes = int(params.get("max_probes", DEFAULT_MAX_PROBES))
+        key_set, total_bits = resolve_spec_inputs(spec, keys, workload)
+        model = CPFPRModel(key_set, key_set.width, workload.queries, max_probes)
+        design = design_proteus(model, total_bits)
+        instance = cls(
+            key_set.keys, key_set.width, design,
+            max_probes=max_probes, seed=int(params.get("seed", 0)),
+        )
+        instance.key_space = workload.key_space
+        return instance
+
+    @classmethod
     def build(
         cls,
         keys: Sequence,
@@ -90,15 +121,15 @@ class Proteus(RangeFilter):
         integers); ``sample_queries`` is an iterable of inclusive ``(lo,
         hi)`` pairs in the same raw domain — use ``(k, k)`` for a point
         query.  ``bits_per_key`` bounds the total filter footprint.
+
+        A shim over :meth:`from_spec`: the raw workload is encoded once and
+        handed to the registry protocol, so both entry points share one
+        build path.
         """
-        space, key_set, query_batch, total_bits = prepare_workload(
-            keys, sample_queries, key_space, bits_per_key
+        return _build_via_spec(
+            cls, "proteus", keys, sample_queries, bits_per_key, key_space,
+            max_probes, seed,
         )
-        model = CPFPRModel(key_set, space.width, query_batch, max_probes)
-        design = design_proteus(model, total_bits)
-        instance = cls(key_set.keys, space.width, design, max_probes=max_probes, seed=seed)
-        instance.key_space = space
-        return instance
 
     @property
     def expected_fpr(self) -> float:

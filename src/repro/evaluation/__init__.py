@@ -1,20 +1,31 @@
-"""Evaluation drivers: benchmark harness and (planned) figure regeneration.
+"""Evaluation drivers: benchmark harness and figure regeneration.
 
-:mod:`repro.evaluation.bench` times the batched execution paths against
-their scalar references on a seeded synthetic workload and emits a JSON
-report — run it with ``python -m repro.evaluation.bench``.  Drivers that
-regenerate the paper's FPR-vs-bits-per-key figures will join it here.
+* :mod:`repro.evaluation.bench` times the batched execution paths against
+  their scalar references on a seeded synthetic workload
+  (``python -m repro.evaluation.bench``).
+* :mod:`repro.evaluation.sweep` regenerates the paper's core figure family
+  — FPR vs bits-per-key curves for every registered filter family, built
+  purely through the :mod:`repro.api` registry and measured against the
+  exact oracle (``python -m repro.evaluation.sweep``).
 """
 
-__all__ = ["run_benchmarks"]
+__all__ = ["run_benchmarks", "run_sweep", "check_monotone"]
+
+_LAZY = {
+    "run_benchmarks": "repro.evaluation.bench",
+    "run_sweep": "repro.evaluation.sweep",
+    "check_monotone": "repro.evaluation.sweep",
+}
 
 
 def __getattr__(name: str):
     # Lazy (PEP 562), and not only for style: an eager `from .bench import`
     # here would make `python -m repro.evaluation.bench` re-execute the
     # module found in sys.modules (runpy RuntimeWarning).
-    if name == "run_benchmarks":
-        from repro.evaluation.bench import run_benchmarks
+    try:
+        module_name = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    from importlib import import_module
 
-        return run_benchmarks
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(import_module(module_name), name)

@@ -7,17 +7,20 @@
   the randomized test-suite.
 * :class:`~repro.filters.prefix_bloom.PrefixBloomFilter` — fixed-prefix
   Bloom range filter.
+* :class:`~repro.filters.prefix_bloom.PointBloomFilter` — plain whole-key
+  Bloom filter (the paper's "Bloom" baseline).
 * :class:`~repro.filters.surf.SuRF` — SuRF-Base, the trie-only baseline.
 * :class:`~repro.filters.rosetta.Rosetta` — per-level Bloom filters with
   dyadic range decomposition.
 
 The self-designing filters (1PBF, 2PBF, Proteus) live in :mod:`repro.core`:
 they are these same trie/Bloom ingredients with the design point chosen by
-the CPFPR model and Algorithm 1.
+the CPFPR model and Algorithm 1.  Every family also implements the registry
+build protocol ``from_spec(spec, keys, workload)`` — see :mod:`repro.api`.
 """
 
 from repro.filters.base import RangeFilter, TrieOracle, key_to_bytes
-from repro.filters.prefix_bloom import PrefixBloomFilter
+from repro.filters.prefix_bloom import PointBloomFilter, PrefixBloomFilter
 from repro.filters.rosetta import Rosetta, dyadic_intervals
 from repro.filters.surf import SuRF
 
@@ -26,6 +29,7 @@ __all__ = [
     "TrieOracle",
     "key_to_bytes",
     "PrefixBloomFilter",
+    "PointBloomFilter",
     "SuRF",
     "Rosetta",
     "dyadic_intervals",

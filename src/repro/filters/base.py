@@ -25,7 +25,71 @@ import numpy as np
 from repro.keys.keyspace import sorted_distinct_keys
 from repro.keys.lcp import MAX_VECTOR_WIDTH
 from repro.trie.node_trie import ByteTrie
-from repro.workloads.batch import as_key_array, coerce_query_batch
+from repro.workloads.batch import EncodedKeySet, as_key_array, coerce_query_batch
+
+#: Key width assumed by ``from_spec`` when neither a workload, an
+#: :class:`EncodedKeySet`, nor a ``width`` spec parameter pins one — the
+#: paper's 64-bit integer setting.
+DEFAULT_SPEC_WIDTH = 64
+
+
+def check_spec_params(spec, allowed: Iterable[str]) -> dict:
+    """Validate a :class:`~repro.api.spec.FilterSpec`'s family parameters.
+
+    Rejects unknown parameter names (the registry protocol's typo guard) and
+    returns the parameters as a plain mutable dict.  ``width`` is accepted
+    for every family — it pins the key width when no workload or encoded key
+    set supplies one.
+    """
+    permitted = set(allowed) | {"width"}
+    unknown = sorted(set(spec.params) - permitted)
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) {unknown} for filter family {spec.family!r}; "
+            f"allowed: {sorted(permitted)}"
+        )
+    return dict(spec.params)
+
+
+def resolve_spec_inputs(spec, keys, workload) -> tuple[EncodedKeySet, int]:
+    """Resolve the shared ``from_spec`` inputs: ``(key_set, total_bits)``.
+
+    ``keys`` may be ``None`` (build over the workload's key set), an
+    :class:`EncodedKeySet`, or a raw iterable — raw keys are encoded through
+    the workload's key space when one is attached (the LSM per-SST case:
+    one workload, many raw key subsets), otherwise interpreted as already
+    encoded in a ``width``-bit space taken from the workload, the ``width``
+    spec parameter, or the 64-bit default.  The bit budget is
+    ``bits_per_key`` times the number of *distinct* keys, exactly as
+    :func:`repro.core.prf.prepare_workload` computes it.
+    """
+    if keys is None:
+        if workload is None:
+            raise ValueError("from_spec needs keys, a workload, or both")
+        key_set = workload.keys
+    elif isinstance(keys, EncodedKeySet):
+        key_set = keys
+    else:
+        if workload is not None:
+            width = workload.width
+            if workload.key_space is not None:
+                keys = workload.key_space.encode_many(keys)
+        else:
+            width = int(spec.params.get("width", DEFAULT_SPEC_WIDTH))
+        key_set = EncodedKeySet(keys, width)
+    if workload is not None and workload.width != key_set.width:
+        raise ValueError(
+            f"key set width {key_set.width} does not match "
+            f"workload width {workload.width}"
+        )
+    spec_width = spec.params.get("width")
+    if spec_width is not None and int(spec_width) != key_set.width:
+        raise ValueError(
+            f"spec width {spec_width} conflicts with the resolved "
+            f"key set width {key_set.width}"
+        )
+    total_bits = max(1, int(spec.bits_per_key * len(key_set)))
+    return key_set, total_bits
 
 
 def ragged_ranges(starts: np.ndarray, lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -157,6 +221,18 @@ class TrieOracle(RangeFilter):
         self._sorted: np.ndarray | None = (
             np.array(encoded, dtype=np.int64) if width <= MAX_VECTOR_WIDTH else None
         )
+
+    @classmethod
+    def from_spec(cls, spec, keys=None, workload=None) -> "TrieOracle":
+        """Registry protocol: build the exact oracle (budget-free ground truth).
+
+        The oracle stores every key verbatim, so ``spec.bits_per_key`` is
+        ignored — it is registered ``budget_free`` and the sweep driver uses
+        it only as ground truth, never as a curve.
+        """
+        check_spec_params(spec, ())
+        key_set, _ = resolve_spec_inputs(spec, keys, workload)
+        return cls(key_set.keys, key_set.width)
 
     def may_contain(self, key: int) -> bool:
         if self.num_keys == 0:

@@ -20,7 +20,12 @@ from typing import Iterable
 import numpy as np
 
 from repro.amq.bloom import BloomFilter
-from repro.filters.base import RangeFilter, ragged_ranges
+from repro.filters.base import (
+    RangeFilter,
+    check_spec_params,
+    ragged_ranges,
+    resolve_spec_inputs,
+)
 from repro.keys.keyspace import sorted_distinct_keys
 from repro.keys.lcp import MAX_VECTOR_WIDTH
 from repro.keys.prefix import distinct_prefixes, prefix_of, prefix_range
@@ -28,6 +33,24 @@ from repro.workloads.batch import as_key_array, coerce_query_batch, slot_bounds
 
 #: Default clamp on Bloom probes per range query (mirrored by the CPFPR model).
 DEFAULT_MAX_PROBES = 64
+
+#: Prefix slots cover ranges of this many keys when no workload pins the
+#: widest sample range — the 64-key slot of the paper's fixed-PBF setup.
+DEFAULT_SLOT_SPAN_BITS = 6
+
+
+def derived_prefix_len(width: int, workload=None) -> int:
+    """The fixed-PBF prefix length the paper's experimental setup would pick.
+
+    The slot span is matched to the widest range in the workload's query
+    sample, so no sample query covers more than two slots; without a
+    workload the default 64-key slot is used.
+    """
+    span_bits = DEFAULT_SLOT_SPAN_BITS
+    if workload is not None and len(workload.queries):
+        max_span = max(int(span) for span in workload.queries.spans())
+        span_bits = (max_span - 1).bit_length()
+    return max(1, width - span_bits)
 
 
 class PrefixBloomFilter(RangeFilter):
@@ -55,6 +78,29 @@ class PrefixBloomFilter(RangeFilter):
         self.num_prefixes = int(prefixes.size)
         self._bloom = BloomFilter(num_bits, max(1, self.num_prefixes), seed=seed)
         self._bloom.add_many(prefixes)
+
+    @classmethod
+    def from_spec(cls, spec, keys=None, workload=None) -> "PrefixBloomFilter":
+        """Registry protocol: a fixed baseline whose knobs derive from the spec.
+
+        The Bloom filter gets the whole ``bits_per_key`` budget (its hash
+        count then follows from the load, the paper's ``ceil(m/n ln 2)``
+        rule); ``prefix_len`` defaults to the slot width matching the widest
+        sample range (:func:`derived_prefix_len`).
+        """
+        params = check_spec_params(spec, ("prefix_len", "max_probes", "seed"))
+        key_set, total_bits = resolve_spec_inputs(spec, keys, workload)
+        prefix_len = params.get("prefix_len")
+        if prefix_len is None:
+            prefix_len = derived_prefix_len(key_set.width, workload)
+        return cls(
+            key_set.keys,
+            key_set.width,
+            int(prefix_len),
+            total_bits,
+            max_probes=int(params.get("max_probes", DEFAULT_MAX_PROBES)),
+            seed=int(params.get("seed", 0)),
+        )
 
     def may_contain(self, key: int) -> bool:
         if self.num_keys == 0:
@@ -122,4 +168,43 @@ class PrefixBloomFilter(RangeFilter):
         return (
             f"PrefixBloomFilter(prefix_len={self.prefix_len}, "
             f"bits={self._bloom.num_bits}, keys={self.num_keys})"
+        )
+
+
+class PointBloomFilter(PrefixBloomFilter):
+    """A plain Bloom filter over whole keys (the paper's "Bloom" baseline).
+
+    Exactly a :class:`PrefixBloomFilter` with ``prefix_len == width``: point
+    queries probe the key itself, range queries probe every key in the range
+    (clamped at ``max_probes``, beyond which the answer is a conservative
+    ``True``) — the structure LSM stores ship by default and the weakest
+    range baseline in the paper's comparison.
+    """
+
+    def __init__(
+        self,
+        keys: Iterable[int],
+        width: int,
+        num_bits: int,
+        max_probes: int = DEFAULT_MAX_PROBES,
+        seed: int = 0,
+    ):
+        super().__init__(keys, width, width, num_bits, max_probes=max_probes, seed=seed)
+
+    @classmethod
+    def from_spec(cls, spec, keys=None, workload=None) -> "PointBloomFilter":
+        """Registry protocol: whole-key Bloom at the ``bits_per_key`` budget."""
+        params = check_spec_params(spec, ("max_probes", "seed"))
+        key_set, total_bits = resolve_spec_inputs(spec, keys, workload)
+        return cls(
+            key_set.keys,
+            key_set.width,
+            total_bits,
+            max_probes=int(params.get("max_probes", DEFAULT_MAX_PROBES)),
+            seed=int(params.get("seed", 0)),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PointBloomFilter(bits={self._bloom.num_bits}, keys={self.num_keys})"
         )

@@ -22,6 +22,12 @@ The per-level bit budget is split proportionally to the number of distinct
 prefixes stored at each level, which approximates the paper's optimised
 allocation (deeper levels hold more distinct prefixes and receive more
 memory).
+
+Construction is vectorised for word-sized key spaces: each level's distinct
+prefixes come from the :class:`~repro.workloads.batch.EncodedKeySet` prefix
+cache (one ``np.unique`` per level) and are inserted through the bulk
+``add_many`` hash path — bit-identical to the scalar per-key build
+(``vectorize=False``), which the parity suite pins.
 """
 
 from __future__ import annotations
@@ -29,12 +35,16 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.amq.bloom import BloomFilter
-from repro.filters.base import RangeFilter
-from repro.keys.keyspace import sorted_distinct_keys
-from repro.keys.lcp import unique_prefix_counts
+from repro.filters.base import RangeFilter, check_spec_params, resolve_spec_inputs
+from repro.workloads.batch import EncodedKeySet
 
 #: Probe budget per range query; exceeding it returns a conservative positive.
 DEFAULT_MAX_PROBES = 256
+
+#: Budget rule for the derived level count: one filtered level per this many
+#: bits of the per-key budget (each bottom level stores ~one prefix per key,
+#: and a Bloom layer below ~2 bits per item carries no information).
+LEVEL_BUDGET_BITS_PER_KEY = 2.0
 
 
 def dyadic_intervals(lo: int, hi: int, width: int) -> Iterator[tuple[int, int]]:
@@ -69,6 +79,7 @@ class Rosetta(RangeFilter):
         num_levels: int | None = None,
         max_probes: int = DEFAULT_MAX_PROBES,
         seed: int = 0,
+        vectorize: bool = True,
     ):
         if width <= 0:
             raise ValueError("key width must be positive")
@@ -83,9 +94,15 @@ class Rosetta(RangeFilter):
         self.width = width
         self.max_probes = max_probes
         self.first_level = width - num_levels + 1
-        sorted_keys = sorted_distinct_keys(keys, width)
-        self.num_keys = len(sorted_keys)
-        counts = unique_prefix_counts(sorted_keys, width)
+        key_set = keys if isinstance(keys, EncodedKeySet) else EncodedKeySet(keys, width)
+        if key_set.width != width:
+            raise ValueError(
+                f"key set width {key_set.width} does not match filter width {width}"
+            )
+        self.num_keys = len(key_set)
+        use_bulk = vectorize and key_set.is_vector
+        key_list = None if use_bulk else key_set.as_list()
+        counts = key_set.prefix_counts()
         levels = range(self.first_level, width + 1)
         weight_total = sum(counts[level] for level in levels) or 1
         self._blooms: dict[int, BloomFilter] = {}
@@ -95,9 +112,43 @@ class Rosetta(RangeFilter):
             # size_in_bits() is the authoritative footprint, not the request.
             level_bits = max(1, total_bits * counts[level] // weight_total)
             bloom = BloomFilter(level_bits, max(1, counts[level]), seed=seed + level)
-            shift = width - level
-            bloom.add_many({key >> shift for key in sorted_keys})
+            if use_bulk:
+                # Bulk path: the sorted distinct prefixes come from the key
+                # set's cached numpy view and all hash lanes run
+                # column-parallel in add_many — bit-identical to the scalar
+                # build (same items, and Bloom contents are insertion-order
+                # independent), which the parity suite pins.
+                bloom.add_many(key_set.prefixes(level))
+            else:
+                bloom.add_many({key >> (width - level) for key in key_list})
             self._blooms[level] = bloom
+
+    @classmethod
+    def from_spec(cls, spec, keys=None, workload=None) -> "Rosetta":
+        """Registry protocol: derive the level count from the bit budget.
+
+        The filtered-level count follows the budget rule the paper's setup
+        uses — roughly one bottom level per :data:`LEVEL_BUDGET_BITS_PER_KEY`
+        bits of the per-key budget, since each bottom level stores about one
+        distinct prefix per key — clamped to ``[1, width]``.  An explicit
+        ``num_levels`` parameter overrides the rule.
+        """
+        params = check_spec_params(spec, ("num_levels", "max_probes", "seed"))
+        key_set, total_bits = resolve_spec_inputs(spec, keys, workload)
+        num_levels = params.get("num_levels")
+        if num_levels is None:
+            num_levels = max(
+                1,
+                min(key_set.width, int(spec.bits_per_key / LEVEL_BUDGET_BITS_PER_KEY)),
+            )
+        return cls(
+            key_set,
+            key_set.width,
+            total_bits,
+            num_levels=int(num_levels),
+            max_probes=int(params.get("max_probes", DEFAULT_MAX_PROBES)),
+            seed=int(params.get("seed", 0)),
+        )
 
     def may_contain(self, key: int) -> bool:
         if self.num_keys == 0:

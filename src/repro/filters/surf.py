@@ -25,7 +25,12 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.filters.base import RangeFilter, key_to_bytes
+from repro.filters.base import (
+    RangeFilter,
+    check_spec_params,
+    key_to_bytes,
+    resolve_spec_inputs,
+)
 from repro.keys.keyspace import sorted_distinct_keys
 from repro.keys.lcp import min_distinguishing_prefix_lengths
 from repro.trie.node_trie import ByteTrie
@@ -63,6 +68,39 @@ class SuRF(RangeFilter):
             depth = min(max_depth, (pad_bits + bits + 7) // 8)
             prefixes.add(key_to_bytes(key, width)[: max(1, depth)])
         self._trie = ByteTrie(prefixes)
+
+    @classmethod
+    def from_spec(cls, spec, keys=None, workload=None) -> "SuRF":
+        """Registry protocol: derive the trie depth from the bit budget.
+
+        ``max_depth`` is the knob the paper turns to trade SuRF's memory for
+        FPR; here it is chosen as the *deepest* depth whose modelled
+        LOUDS-DS footprint fits ``bits_per_key * num_keys``.  Trie size is
+        non-decreasing in the depth, so the search builds shallow-to-deep
+        and stops at the first depth over budget, keeping the previous fit
+        — the cheap tries are built first and the expensive ones only when
+        the budget admits them.  When even the one-byte trie exceeds the
+        budget it is returned anyway — ``size_in_bits()`` stays the
+        authoritative footprint, as with Rosetta's per-level floors.  An
+        explicit ``max_depth`` parameter overrides the search.
+        """
+        params = check_spec_params(spec, ("max_depth",))
+        key_set, total_bits = resolve_spec_inputs(spec, keys, workload)
+        if "max_depth" in params:
+            return cls(key_set.keys, key_set.width, int(params["max_depth"]))
+        num_bytes = (key_set.width + 7) // 8
+        best = None
+        for depth in range(1, num_bytes + 1):
+            candidate = cls(key_set.keys, key_set.width, depth)
+            if best is not None and candidate.size_in_bits() > total_bits:
+                break
+            best = candidate
+            if candidate.size_in_bits() > total_bits:
+                break  # even the one-byte trie overshoots: take it and stop
+            if candidate.trie_height() < depth:
+                break  # every key already distinguished: deeper is identical
+        assert best is not None
+        return best
 
     def may_contain(self, key: int) -> bool:
         if self.num_keys == 0:

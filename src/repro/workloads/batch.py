@@ -150,7 +150,7 @@ class EncodedKeySet:
 class QueryBatch:
     """A batch of inclusive ``[lo, hi]`` range queries over one key space."""
 
-    __slots__ = ("width", "los", "his")
+    __slots__ = ("width", "los", "his", "_validated")
 
     def __init__(self, los, his, width: int, validate: bool = True):
         if width <= 0:
@@ -169,21 +169,32 @@ class QueryBatch:
             self.his = np.array([int(hi) for hi in his], dtype=object)
         if self.los.shape != self.his.shape or self.los.ndim != 1:
             raise ValueError("los and his must be parallel one-dimensional arrays")
-        if validate and len(self):
+        self._validated = len(self) == 0
+        if validate and not self._validated:
             self._validate()
 
     def _validate(self) -> None:
+        """Apply ``RangeFilter._check_range``'s rules (and messages) batch-wide.
+
+        Sets ``_validated`` on success so deferred validation
+        (``validate=False`` construction followed by
+        :func:`coerce_query_batch`) runs at most once per batch.
+        """
         top = (1 << self.width) - 1
         if self.is_vector:
             bad_order = self.los > self.his
-            if bad_order.any():
-                index = int(np.argmax(bad_order))
+            bad_bounds = (self.los < 0) | (self.his > top)
+            bad = bad_order | bad_bounds
+            if bad.any():
+                # Report the *first* offending query, defect-checked in the
+                # scalar _check_range order, so a mixed-defect batch raises
+                # the same error a per-query loop would.
+                index = int(np.argmax(bad))
+                lo, hi = int(self.los[index]), int(self.his[index])
+                if lo > hi:
+                    raise ValueError(f"empty query range [{lo}, {hi}]")
                 raise ValueError(
-                    f"empty query range [{int(self.los[index])}, {int(self.his[index])}]"
-                )
-            if int(self.los.min()) < 0 or int(self.his.max()) > top:
-                raise ValueError(
-                    f"query range outside the {self.width}-bit key space"
+                    f"query range [{lo}, {hi}] outside the {self.width}-bit key space"
                 )
         else:
             for lo, hi in zip(self.los.tolist(), self.his.tolist()):
@@ -193,6 +204,7 @@ class QueryBatch:
                     raise ValueError(
                         f"query range [{lo}, {hi}] outside the {self.width}-bit key space"
                     )
+        self._validated = True
 
     @classmethod
     def from_pairs(
@@ -259,14 +271,20 @@ class QueryBatch:
 def coerce_query_batch(queries, width: int) -> QueryBatch:
     """Return ``queries`` as a :class:`QueryBatch` in a ``width``-bit space.
 
-    An existing batch is passed through untouched (its width must match);
-    any iterable of ``(lo, hi)`` pairs is wrapped and validated.
+    An existing batch is passed through (its width must match); any iterable
+    of ``(lo, hi)`` pairs is wrapped and validated.  A batch constructed
+    with ``validate=False`` is validated here — once, the flag is sticky —
+    so the vectorised ``may_intersect_many`` fast paths reject ``lo > hi``
+    and out-of-width ranges with exactly the ``ValueError``s the scalar
+    ``_check_range`` path raises.
     """
     if isinstance(queries, QueryBatch):
         if queries.width != width:
             raise ValueError(
                 f"query batch width {queries.width} does not match filter width {width}"
             )
+        if not queries._validated:
+            queries._validate()
         return queries
     return QueryBatch.from_pairs(queries, width)
 

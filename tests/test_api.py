@@ -1,0 +1,248 @@
+"""The unified construction API: FilterSpec round-trips, registry
+completeness, the build protocol, and budget adherence.
+
+Three contract layers are pinned:
+
+* ``FilterSpec`` is frozen, JSON round-trippable, and rejects malformed
+  input instead of silently dropping it;
+* every exported ``RangeFilter`` family is registered and buildable through
+  ``build_filter`` at 8/12/16 bits per key on a seeded workload, with zero
+  false negatives against the exact oracle;
+* the built filters actually honour the spec's budget: ``bits_per_key()``
+  never overshoots materially, and the Bloom-backed families use the
+  budget they were given (SuRF may legitimately undershoot — its trie can
+  be smaller than a generous budget).
+"""
+
+import pytest
+
+from repro.api import (
+    FilterSpec,
+    Workload,
+    build_filter,
+    family,
+    register_family,
+    registered_families,
+)
+from repro.api.registry import _FAMILIES
+from repro.filters.base import TrieOracle
+
+WIDTH = 28
+
+#: Every filter family the package exports, and whether SuRF-style
+#: budget-undershoot is legitimate for it.
+EXPECTED_FAMILIES = {
+    "proteus": False,
+    "1pbf": False,
+    "2pbf": False,
+    "surf": True,
+    "rosetta": False,
+    "prefix_bloom": False,
+    "bloom": False,
+    "oracle": True,
+}
+
+#: Relative overshoot allowance: byte-granular BitArray payloads and
+#: Rosetta's per-level floors round a requested budget up by a few bits.
+BUDGET_SLACK_BITS = 128
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload.generate(
+        num_keys=1500, num_queries=600, width=WIDTH, seed=11,
+        key_dist="uniform", query_family="mixed",
+    )
+
+
+# --------------------------------------------------------------------- #
+# FilterSpec                                                            #
+# --------------------------------------------------------------------- #
+
+
+class TestFilterSpec:
+    def test_json_round_trip(self):
+        specs = [
+            FilterSpec("proteus"),
+            FilterSpec("rosetta", 10.5),
+            FilterSpec("prefix_bloom", 8, {"prefix_len": 20, "seed": 3}),
+            FilterSpec("surf", 12.0, {"max_depth": 2}),
+        ]
+        for spec in specs:
+            assert FilterSpec.from_dict(spec.to_dict()) == spec
+            assert FilterSpec.from_json(spec.to_json()) == spec
+
+    def test_params_are_read_only(self):
+        spec = FilterSpec("bloom", 8, {"seed": 1})
+        with pytest.raises(TypeError):
+            spec.params["seed"] = 2
+        with pytest.raises(AttributeError):
+            spec.family = "rosetta"
+
+    def test_to_dict_detached_from_spec(self):
+        spec = FilterSpec("bloom", 8, {"seed": 1})
+        data = spec.to_dict()
+        data["params"]["seed"] = 99
+        assert spec.params["seed"] == 1
+
+    def test_rejects_malformed_input(self):
+        with pytest.raises(ValueError):
+            FilterSpec("")
+        with pytest.raises(ValueError):
+            FilterSpec("bloom", 0)
+        with pytest.raises(ValueError):
+            FilterSpec("bloom", -3.5)
+        with pytest.raises(ValueError, match="family"):
+            FilterSpec.from_dict({"bits_per_key": 8})
+        with pytest.raises(ValueError, match="unknown"):
+            FilterSpec.from_dict({"family": "bloom", "bit_budget": 8})
+        with pytest.raises(ValueError, match="params"):
+            FilterSpec.from_dict({"family": "bloom", "params": [1, 2]})
+
+    def test_specs_are_hashable(self):
+        # Frozen value objects must work as dict keys (per-spec caches).
+        a = FilterSpec("proteus", 14, {"seed": 1})
+        b = FilterSpec("proteus", 14, {"seed": 1})
+        assert hash(a) == hash(b) and len({a, b}) == 1
+        assert hash(a) != hash(a.with_budget(16))
+
+    def test_with_budget_and_with_params(self):
+        spec = FilterSpec("rosetta", 8, {"seed": 1})
+        wider = spec.with_budget(16)
+        assert wider.bits_per_key == 16 and wider.params == spec.params
+        merged = spec.with_params(num_levels=4)
+        assert merged.params == {"seed": 1, "num_levels": 4}
+        assert spec.params == {"seed": 1}  # original untouched
+
+
+# --------------------------------------------------------------------- #
+# Registry completeness and the build protocol                          #
+# --------------------------------------------------------------------- #
+
+
+def test_every_exported_family_is_registered():
+    assert set(EXPECTED_FAMILIES) <= set(registered_families())
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_FAMILIES))
+@pytest.mark.parametrize("bits_per_key", [8, 12, 16])
+def test_family_buildable_with_zero_false_negatives(name, bits_per_key, workload):
+    filt = build_filter(FilterSpec(name, bits_per_key), workload.keys, workload)
+    oracle = TrieOracle(workload.keys.keys, WIDTH)
+    truth = oracle.may_intersect_many(workload.queries)
+    answers = filt.may_intersect_many(workload.queries)
+    assert not (truth & ~answers).any(), f"{name} dropped a key"
+    assert filt.may_contain_many(workload.keys.keys).all()
+
+
+@pytest.mark.parametrize("bits_per_key", [8, 12, 16])
+def test_budget_adherence(bits_per_key, workload):
+    budget = bits_per_key * len(workload.keys)
+    for name, may_undershoot in EXPECTED_FAMILIES.items():
+        if family(name).budget_free:
+            continue
+        filt = build_filter(FilterSpec(name, bits_per_key), workload.keys, workload)
+        assert filt.size_in_bits() <= budget + BUDGET_SLACK_BITS, (
+            f"{name} overshot the budget: {filt.size_in_bits()} > {budget}"
+        )
+        if not may_undershoot:
+            assert filt.size_in_bits() >= 0.5 * budget, (
+                f"{name} ignored the budget: {filt.size_in_bits()} << {budget}"
+            )
+
+
+def test_unknown_family_is_rejected(workload):
+    with pytest.raises(ValueError, match="unknown filter family"):
+        build_filter(FilterSpec("cuckoo"), workload.keys, workload)
+
+
+def test_unknown_param_is_rejected(workload):
+    spec = FilterSpec("rosetta", 8, {"nmu_levels": 4})  # typo'd knob
+    with pytest.raises(ValueError, match="nmu_levels"):
+        build_filter(spec, workload.keys, workload)
+
+
+def test_conflicting_spec_width_is_rejected(workload):
+    spec = FilterSpec("bloom", 8, {"width": WIDTH // 2})
+    with pytest.raises(ValueError, match="width"):
+        build_filter(spec, workload.keys, workload)
+
+
+def test_self_designing_family_requires_workload(workload):
+    for name in ("proteus", "1pbf", "2pbf"):
+        assert family(name).requires_workload
+        with pytest.raises(ValueError, match="workload"):
+            build_filter(FilterSpec(name, 12), workload.keys)
+
+
+def test_keys_default_to_the_workload_key_set(workload):
+    via_default = build_filter(FilterSpec("bloom", 8), workload=workload)
+    assert via_default.num_keys == len(workload.keys)
+
+
+def test_key_subset_builds_against_shared_sample(workload):
+    # The LSM per-SST pattern: one workload sample, a slice of the keys.
+    subset = workload.keys.keys[: len(workload.keys) // 4]
+    filt = build_filter(FilterSpec("proteus", 12), subset, workload)
+    assert filt.num_keys == subset.size
+    assert filt.may_contain_many(subset).all()
+
+
+def test_duplicate_registration_is_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_family("proteus")(TrieOracle)
+
+
+def test_third_party_registration_round_trip(workload):
+    class EchoOracle(TrieOracle):
+        @classmethod
+        def from_spec(cls, spec, keys=None, workload=None):
+            return TrieOracle.from_spec.__func__(cls, spec, keys, workload)
+
+    name = "test-echo-oracle"
+    try:
+        register_family(name, budget_free=True)(EchoOracle)
+        filt = build_filter(FilterSpec(name, 8), workload.keys, workload)
+        assert isinstance(filt, EchoOracle)
+    finally:
+        _FAMILIES.pop(name, None)
+
+
+def test_registration_requires_from_spec():
+    class NoProtocol:
+        pass
+
+    with pytest.raises(TypeError, match="from_spec"):
+        register_family("test-no-protocol")(NoProtocol)
+
+
+# --------------------------------------------------------------------- #
+# Workload bundle                                                       #
+# --------------------------------------------------------------------- #
+
+
+class TestWorkload:
+    def test_generate_records_provenance(self, workload):
+        assert workload.metadata["seed"] == 11
+        assert workload.describe()["num_keys"] == len(workload.keys)
+        assert workload.width == WIDTH
+
+    def test_raw_keys_need_a_key_space(self):
+        with pytest.raises(ValueError, match="key_space"):
+            Workload([1, 2, 3], [(0, 5)])
+
+    def test_raw_domain_encoding(self):
+        from repro.keys.keyspace import StringKeySpace
+
+        words = ["pear", "peach", "plum"]
+        space = StringKeySpace.for_keys(words)
+        w = Workload(words, [("pea", "pec")], key_space=space)
+        assert w.num_keys == 3 and w.num_queries == 1
+        assert w.width == space.width
+
+    def test_width_mismatch_is_rejected(self, workload):
+        from repro.workloads.batch import QueryBatch
+
+        other = QueryBatch.from_pairs([(0, 1)], WIDTH + 1)
+        with pytest.raises(ValueError, match="width"):
+            Workload(workload.keys, other)

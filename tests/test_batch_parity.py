@@ -162,6 +162,88 @@ def test_wide_key_space_falls_back_to_scalar_loop():
     assert list(filt.may_contain_many(keys)) == [filt.may_contain(k) for k in keys]
 
 
+def test_rosetta_vectorised_build_is_bit_identical(workload):
+    # Satellite of the "batched build path" ROADMAP item: the bulk
+    # insert_many construction must produce byte-for-byte the same Bloom
+    # contents as the scalar per-key build, level by level.
+    keys, _, _ = workload
+    bulk = Rosetta(keys, WIDTH, total_bits=32_000, num_levels=12, seed=9)
+    scalar = Rosetta(
+        keys, WIDTH, total_bits=32_000, num_levels=12, seed=9, vectorize=False
+    )
+    assert sorted(bulk._blooms) == sorted(scalar._blooms)
+    for level, bloom in bulk._blooms.items():
+        reference = scalar._blooms[level]
+        assert bloom.num_bits == reference.num_bits, level
+        assert bloom.num_hashes == reference.num_hashes, level
+        assert bloom.bits.to_bytes() == reference.bits.to_bytes(), level
+
+
+def test_rosetta_wide_key_space_build_falls_back():
+    # 80-bit keys: object-dtype key sets cannot take the bulk path but must
+    # still build (and answer) correctly.
+    width = 80
+    keys = [1 << 70, (1 << 70) + 5, 3, 1 << 79]
+    filt = Rosetta(keys, width, total_bits=4096, num_levels=8)
+    assert all(filt.may_contain(key) for key in keys)
+    assert filt.may_intersect(0, 10)
+
+
+class TestBatchValidationParity:
+    """The vectorised fast paths must reject malformed queries with the
+    same ValueErrors as the scalar ``_check_range`` — even when the batch
+    was constructed with ``validate=False`` (the coercion layer owns the
+    deferred check)."""
+
+    @pytest.fixture(scope="class")
+    def filt(self, workload):
+        keys, _, _ = workload
+        return PrefixBloomFilter(keys, WIDTH, prefix_len=16, num_bits=24_000)
+
+    def _scalar_message(self, filt, lo, hi):
+        with pytest.raises(ValueError) as excinfo:
+            filt.may_intersect(lo, hi)
+        return str(excinfo.value)
+
+    def test_empty_range_rejected_identically(self, filt):
+        lo, hi = 500, 20
+        batch = QueryBatch([0, lo], [5, hi], WIDTH, validate=False)
+        with pytest.raises(ValueError) as excinfo:
+            filt.may_intersect_many(batch)
+        assert str(excinfo.value) == self._scalar_message(filt, lo, hi)
+
+    def test_out_of_width_rejected_identically(self, filt):
+        lo, hi = 7, 1 << WIDTH
+        batch = QueryBatch([lo], [hi], WIDTH, validate=False)
+        with pytest.raises(ValueError) as excinfo:
+            filt.may_intersect_many(batch)
+        assert str(excinfo.value) == self._scalar_message(filt, lo, hi)
+
+    def test_wide_space_object_batch_rejected_identically(self, workload):
+        width = 80
+        keys = [3, 1 << 70]
+        filt = PrefixBloomFilter(keys, width, prefix_len=40, num_bits=4096)
+        batch = QueryBatch([1 << 79], [5], width, validate=False)
+        assert not batch.is_vector
+        with pytest.raises(ValueError) as excinfo:
+            filt.may_intersect_many(batch)
+        assert str(excinfo.value) == self._scalar_message(filt, 1 << 79, 5)
+
+    def test_mixed_defect_batch_reports_first_offender(self, filt):
+        # Query 0 is out of width, query 1 is inverted: the scalar loop
+        # dies on query 0's defect, so the batch path must as well.
+        batch = QueryBatch([0, 5], [1 << WIDTH, 2], WIDTH, validate=False)
+        with pytest.raises(ValueError) as excinfo:
+            filt.may_intersect_many(batch)
+        assert str(excinfo.value) == self._scalar_message(filt, 0, 1 << WIDTH)
+
+    def test_validation_flag_is_sticky(self, filt):
+        batch = QueryBatch([1, 2], [4, 8], WIDTH, validate=False)
+        assert not batch._validated
+        filt.may_intersect_many(batch)
+        assert batch._validated  # coercion validated once; later calls skip it
+
+
 def test_bloom_bulk_equals_scalar(workload):
     keys, _, probes = workload
     scalar = BloomFilter(20_000, len(keys), seed=5)
