@@ -28,12 +28,16 @@ The package is organised as a set of small, focused subpackages:
     ``build_filter(spec, keys, workload)`` protocol and the ``Workload``
     bundle.
 ``repro.lsm``
-    (planned) A RocksDB-style LSM tree substrate with per-SST range filters
-    constructed via ``FilterSpec``.
+    The RocksDB-style LSM tree substrate: leveled geometry, per-SST range
+    filters constructed via ``FilterSpec`` from one shared workload sample,
+    and the simulated I/O cost model (block reads charged only on filter
+    positives).
 ``repro.evaluation``
-    Benchmark harness (``python -m repro.evaluation.bench``) and the
+    Benchmark harness (``python -m repro.evaluation.bench``), the
     FPR-vs-bits-per-key sweep driver (``python -m repro.evaluation.sweep``)
-    that regenerates the paper's core figure family.
+    that regenerates the paper's core figure family, and the LSM end-to-end
+    driver (``python -m repro.evaluation.lsm_bench``) that reproduces the
+    Fig. 9-style I/O comparison.
 
 The most common entry points are re-exported here.  Re-exports resolve
 lazily (PEP 562): a missing or broken subpackage surfaces as an error when
@@ -66,6 +70,12 @@ _LAZY_EXPORTS = {
     "build_filter": "repro.api",
     "register_family": "repro.api",
     "registered_families": "repro.api",
+    "allocate_sst_budgets": "repro.api",
+    "derive_sst_specs": "repro.api",
+    "LSMTree": "repro.lsm",
+    "SSTable": "repro.lsm",
+    "CostModel": "repro.lsm",
+    "ProbeResult": "repro.lsm",
 }
 
 __all__ = list(_LAZY_EXPORTS)

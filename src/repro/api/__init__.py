@@ -21,6 +21,7 @@ fixed baselines (``surf``, ``rosetta``, ``prefix_bloom``, ``bloom``) derive
 their internal knobs from the budget as the paper's experimental setup does.
 """
 
+from repro.api.budget import allocate_sst_budgets, derive_sst_specs
 from repro.api.registry import (
     FilterFamily,
     build_filter,
@@ -39,4 +40,6 @@ __all__ = [
     "registered_families",
     "family",
     "build_filter",
+    "allocate_sst_budgets",
+    "derive_sst_specs",
 ]

@@ -1,0 +1,78 @@
+"""Per-SST budget derivation from one global bits-per-key budget.
+
+The LSM layer builds one filter per SST but is configured with a single
+global memory budget — "``B`` bits per key across the whole tree", the knob
+the paper's end-to-end experiment turns.  This module owns the translation
+from that global budget to the per-SST :class:`~repro.api.spec.FilterSpec`
+sequence, under one invariant: **the per-SST bit grants sum to the global
+grant** (``sum(round(b_i * n_i)) ≈ B * sum(n_i)``), so a tree-wide memory
+report is comparable across allocation policies.
+
+Two policies:
+
+``proportional``
+    Every SST receives the same *bits per key* — its share of the global
+    bit pool is proportional to its key count.  This is what a per-SST
+    filter inside RocksDB does (each filter sized from its own key count at
+    the table-wide bits-per-key option) and the default.
+``equal``
+    Every SST receives the same *total bits* — ``B * N / num_ssts`` each —
+    so small SSTs run rich and large SSTs run starved.  Useful as the
+    strawman that shows why proportional allocation is the right default.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.api.spec import FilterSpec
+
+__all__ = ["ALLOCATION_POLICIES", "allocate_sst_budgets", "derive_sst_specs"]
+
+#: Recognised per-SST allocation policy names.
+ALLOCATION_POLICIES = ("proportional", "equal")
+
+
+def allocate_sst_budgets(
+    bits_per_key: float,
+    key_counts: Sequence[int],
+    policy: str = "proportional",
+) -> list[float]:
+    """Split a global ``bits_per_key`` budget into per-SST budgets.
+
+    Returns one bits-per-key value per entry of ``key_counts`` such that the
+    implied total bit grant matches the global one (``sum(b_i * n_i) ==
+    bits_per_key * sum(n_i)``, up to float arithmetic).  Empty SSTs are
+    never produced by the tree builder, so zero key counts are rejected.
+    """
+    if not key_counts:
+        raise ValueError("need at least one SST to allocate a budget across")
+    if any(count <= 0 for count in key_counts):
+        raise ValueError("every SST must hold at least one key")
+    if not bits_per_key > 0:
+        raise ValueError(f"bits_per_key must be positive, got {bits_per_key}")
+    if policy == "proportional":
+        return [float(bits_per_key)] * len(key_counts)
+    if policy == "equal":
+        total_bits = bits_per_key * sum(key_counts)
+        per_sst_bits = total_bits / len(key_counts)
+        return [per_sst_bits / count for count in key_counts]
+    raise ValueError(
+        f"unknown allocation policy {policy!r}; expected one of {ALLOCATION_POLICIES}"
+    )
+
+
+def derive_sst_specs(
+    spec: FilterSpec,
+    key_counts: Sequence[int],
+    policy: str = "proportional",
+) -> list[FilterSpec]:
+    """Derive one :class:`FilterSpec` per SST from a global spec.
+
+    The family and params carry over unchanged; only ``bits_per_key`` is
+    re-derived by :func:`allocate_sst_budgets`, so every SST builds through
+    the same registry protocol the sweep uses — ``build_filter(sst_spec,
+    sst.keys, shared_workload)``.
+    """
+    budgets = allocate_sst_budgets(spec.bits_per_key, key_counts, policy)
+    return [spec.with_budget(budget) for budget in budgets]

@@ -280,6 +280,13 @@ class TwoPBF(RangeFilter):
     def size_in_bits(self) -> int:
         return self._first.size_in_bits() + self._second.size_in_bits()
 
+    def size_breakdown(self) -> dict[str, int]:
+        """Per-layer charged footprint: the coarse and fine Bloom layers."""
+        return {
+            "first": self._first.size_in_bits(),
+            "second": self._second.size_in_bits(),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"TwoPBF(l1={self._first.prefix_len}, l2={self._second.prefix_len}, "

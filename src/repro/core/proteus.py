@@ -239,6 +239,15 @@ class Proteus(RangeFilter):
             total += self._bloom.size_in_bits()
         return total
 
+    def size_breakdown(self) -> dict[str, int]:
+        """Per-layer charged footprint: modelled trie bits + actual Bloom bits."""
+        breakdown = {}
+        if self._trie is not None:
+            breakdown["trie"] = self.design.trie_bits
+        if self._bloom is not None:
+            breakdown["bloom"] = self._bloom.size_in_bits()
+        return breakdown or {"total": 0}
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Proteus(l1={self.design.trie_depth}, l2={self.design.bloom_prefix_len}, "

@@ -7,14 +7,19 @@
   — FPR vs bits-per-key curves for every registered filter family, built
   purely through the :mod:`repro.api` registry and measured against the
   exact oracle (``python -m repro.evaluation.sweep``).
+* :mod:`repro.evaluation.lsm_bench` replays point/range/mixed workloads
+  through the per-SST-filtered LSM tree and reports block-read savings
+  versus the no-filter and whole-key-Bloom baselines
+  (``python -m repro.evaluation.lsm_bench``).
 """
 
-__all__ = ["run_benchmarks", "run_sweep", "check_monotone"]
+__all__ = ["run_benchmarks", "run_sweep", "check_monotone", "run_lsm_bench"]
 
 _LAZY = {
     "run_benchmarks": "repro.evaluation.bench",
     "run_sweep": "repro.evaluation.sweep",
     "check_monotone": "repro.evaluation.sweep",
+    "run_lsm_bench": "repro.evaluation.lsm_bench",
 }
 
 

@@ -1,0 +1,297 @@
+"""LSM end-to-end benchmark: per-SST filters vs block reads (Fig. 9 family).
+
+The paper's headline deployment result is Proteus inside RocksDB — one
+range filter per SST, each self-designed from a shared query sample,
+cutting the I/O spent on empty point and range lookups.  This driver
+replays that experiment on the simulated substrate:
+
+* one seeded workload is generated; its query sample is the *design*
+  sample every self-designing filter family optimises against;
+* one leveled :class:`~repro.lsm.tree.LSMTree` is built over the keys —
+  the tree (geometry, key placement, fences) is shared by every
+  configuration, only the attached filters change;
+* the **no-filter baseline** reads every fence-surviving SST; each filter
+  family then attaches per-SST filters at the same global bits-per-key
+  budget (split by :mod:`repro.api.budget`) and replays the same held-out
+  query batch;
+* the report counts charged block reads, the paper's false-positive block
+  reads (reads of SSTs that held no matching key), per-level filter
+  memory, and each family's I/O savings against the no-filter and the
+  whole-key-Bloom baselines.
+
+Any *missed* read — a truly-matching SST rejected by its filter — fails
+the run: I/O savings can never be bought with a dropped key.
+
+    python -m repro.evaluation.lsm_bench --output BENCH_pr4.json
+
+``--check`` enforces the paper's qualitative ordering (the CI smoke gate):
+every filtered configuration does no more I/O than the no-filter baseline,
+every filtered configuration strictly reduces false-positive block reads,
+and Proteus's false-positive block reads are at or below every other
+filtered family's at the shared budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.api import FilterSpec, Workload, family as family_entry
+from repro.evaluation.sweep import held_out_queries
+from repro.lsm import CostModel, LSMTree
+
+__all__ = ["DEFAULT_FAMILIES", "run_lsm_bench", "check_report", "main"]
+
+#: Filter families attached per SST, in report order; the no-filter
+#: baseline is always measured and needs no listing.
+DEFAULT_FAMILIES = ("bloom", "prefix_bloom", "surf", "rosetta", "proteus")
+
+#: The config key of the always-present unfiltered baseline.
+NO_FILTER = "no_filter"
+
+
+def _probe_config(tree: LSMTree, eval_batch, model: CostModel, name: str) -> dict:
+    """Probe the tree as currently configured and summarise one config."""
+    result = tree.probe(eval_batch)
+    missed = int(result.missed_reads.sum())
+    if missed:
+        raise AssertionError(
+            f"{name}: {missed} missed reads — a filter rejected an SST that "
+            f"held a matching key (false negative)"
+        )
+    filter_bits = tree.filter_size_bits()
+    return {
+        "filter_bits": filter_bits,
+        "filter_bits_per_key": filter_bits / tree.num_keys,
+        "filter_bits_per_level": tree.filter_bits_per_level(),
+        "probe": result.to_dict(model),
+    }
+
+
+def run_lsm_bench(
+    families: tuple[str, ...] = DEFAULT_FAMILIES,
+    bits_per_key: float = 14.0,
+    num_keys: int = 10_000,
+    num_queries: int = 4_000,
+    num_eval_queries: int | None = None,
+    width: int = 32,
+    seed: int = 42,
+    key_dist: str = "uniform",
+    query_family: str = "mixed",
+    sst_keys: int = 512,
+    fanout: int = 4,
+    policy: str = "proportional",
+    cost_model: CostModel | None = None,
+) -> dict:
+    """Run every configuration over one shared tree; return the JSON report."""
+    for name in families:
+        if family_entry(name).budget_free:
+            raise ValueError(
+                f"family {name!r} ignores the bit budget; it cannot share the "
+                f"per-SST budget comparison"
+            )
+    model = cost_model or CostModel()
+    workload = Workload.generate(
+        num_keys,
+        num_queries,
+        width,
+        seed=seed,
+        key_dist=key_dist,
+        query_family=query_family,
+    )
+    eval_batch = held_out_queries(
+        workload, num_eval_queries or num_queries, seed + 1, query_family
+    )
+    tree = LSMTree.build(workload.keys, sst_keys=sst_keys, fanout=fanout, seed=seed)
+    # Describe the bare geometry (no filters yet): per-config filter memory
+    # lives under each config, not in the shared tree section.
+    tree_summary = tree.describe()
+    configs: dict[str, dict] = {}
+    baseline = _probe_config(tree, eval_batch, model, NO_FILTER)
+    baseline["spec"] = None
+    configs[NO_FILTER] = baseline
+    required_reads = baseline["probe"]["required_reads"]
+    for name in families:
+        spec = FilterSpec(name, bits_per_key)
+        tree.attach_filters(spec, workload, policy=policy)
+        config = _probe_config(tree, eval_batch, model, name)
+        config["spec"] = spec.to_dict()
+        # The tree and queries are shared, so ground truth cannot move.
+        if config["probe"]["required_reads"] != required_reads:
+            raise AssertionError(
+                f"{name}: required reads changed across configs "
+                f"({config['probe']['required_reads']} != {required_reads})"
+            )
+        for metric in ("blocks_read", "false_positive_reads", "io_cost"):
+            base_value = baseline["probe"][metric]
+            config.setdefault("savings_vs_no_filter", {})[metric] = (
+                1.0 - config["probe"][metric] / base_value if base_value else 0.0
+            )
+        configs[name] = config
+    return {
+        "workload": workload.describe(),
+        "evaluation": {
+            "num_queries": len(eval_batch),
+            "num_empty_queries": baseline["probe"]["num_empty_queries"],
+            "query_family": query_family,
+            "seed": seed + 1,
+        },
+        "tree": tree_summary,
+        "cost_model": model.to_dict(),
+        "bits_per_key": float(bits_per_key),
+        "budget_policy": policy,
+        "configs": configs,
+    }
+
+
+def check_report(report: dict) -> list[str]:
+    """Return violations of the paper's qualitative end-to-end ordering.
+
+    * no filtered configuration may do more I/O (blocks read, charged cost)
+      than the no-filter baseline;
+    * every filtered configuration must strictly reduce false-positive
+      block reads (when the baseline has any to reduce);
+    * Proteus, when present, must have false-positive block reads at or
+      below every other filtered family's — the self-designed filter earns
+      its place at the shared budget.
+    """
+    violations = []
+    configs = report["configs"]
+    baseline = configs[NO_FILTER]["probe"]
+    filtered = {name: c for name, c in configs.items() if name != NO_FILTER}
+    for name, config in filtered.items():
+        probe = config["probe"]
+        if probe["missed_reads"]:
+            violations.append(f"{name}: {probe['missed_reads']} missed reads")
+        for metric in ("blocks_read", "io_cost"):
+            if probe[metric] > baseline[metric]:
+                violations.append(
+                    f"{name}: {metric} {probe[metric]} exceeds the no-filter "
+                    f"baseline's {baseline[metric]}"
+                )
+        if baseline["false_positive_reads"] > 0:
+            if probe["false_positive_reads"] >= baseline["false_positive_reads"]:
+                violations.append(
+                    f"{name}: false-positive reads {probe['false_positive_reads']} "
+                    f"not reduced from the no-filter baseline's "
+                    f"{baseline['false_positive_reads']}"
+                )
+    if "proteus" in filtered:
+        proteus_fp = filtered["proteus"]["probe"]["false_positive_reads"]
+        for name, config in filtered.items():
+            if name == "proteus":
+                continue
+            other_fp = config["probe"]["false_positive_reads"]
+            if proteus_fp > other_fp:
+                violations.append(
+                    f"proteus: false-positive reads {proteus_fp} exceed "
+                    f"{name}'s {other_fp} at the shared budget"
+                )
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evaluation.lsm_bench",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--families",
+        default=",".join(DEFAULT_FAMILIES),
+        help="comma-separated filter families to attach per SST "
+        "(the no-filter baseline always runs)",
+    )
+    parser.add_argument(
+        "--bits-per-key",
+        type=float,
+        default=14.0,
+        help="global filter memory budget, split across SSTs",
+    )
+    parser.add_argument("--keys", type=int, default=10_000, help="number of keys")
+    parser.add_argument(
+        "--queries", type=int, default=4_000, help="design-sample query count"
+    )
+    parser.add_argument(
+        "--eval-queries",
+        type=int,
+        default=None,
+        help="held-out query count (defaults to --queries)",
+    )
+    parser.add_argument("--width", type=int, default=32, help="key width in bits")
+    parser.add_argument("--seed", type=int, default=42, help="workload + tree seed")
+    parser.add_argument(
+        "--key-dist", default="uniform", choices=("uniform", "zipf", "clustered")
+    )
+    parser.add_argument(
+        "--query-family",
+        default="mixed",
+        choices=("uniform", "point", "correlated", "mixed"),
+    )
+    parser.add_argument(
+        "--sst-keys", type=int, default=512, help="SST capacity in keys"
+    )
+    parser.add_argument(
+        "--fanout", type=int, default=4, help="level-size growth factor"
+    )
+    parser.add_argument(
+        "--policy",
+        default="proportional",
+        choices=("proportional", "equal"),
+        help="how the global budget splits across SSTs",
+    )
+    parser.add_argument(
+        "--block-read-cost",
+        type=float,
+        default=1.0,
+        help="charge per data-block read",
+    )
+    parser.add_argument(
+        "--filter-probe-cost",
+        type=float,
+        default=0.0,
+        help="charge per filter probe (CPU; the paper reports pure I/O)",
+    )
+    parser.add_argument("--output", default=None, help="write the JSON report here")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless the paper's qualitative I/O ordering holds",
+    )
+    args = parser.parse_args(argv)
+    report = run_lsm_bench(
+        families=tuple(name for name in args.families.split(",") if name),
+        bits_per_key=args.bits_per_key,
+        num_keys=args.keys,
+        num_queries=args.queries,
+        num_eval_queries=args.eval_queries,
+        width=args.width,
+        seed=args.seed,
+        key_dist=args.key_dist,
+        query_family=args.query_family,
+        sst_keys=args.sst_keys,
+        fanout=args.fanout,
+        policy=args.policy,
+        cost_model=CostModel(args.block_read_cost, args.filter_probe_cost),
+    )
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered + "\n")
+    print(rendered)
+    if args.check:
+        violations = check_report(report)
+        if violations:
+            for violation in violations:
+                print(f"FAIL: {violation}", file=sys.stderr)
+            return 1
+        print(
+            "OK: every filtered configuration beats the no-filter baseline "
+            "and Proteus holds the lowest false-positive block reads"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,7 +38,7 @@ from repro.filters.base import TrieOracle
 from repro.workloads.batch import QueryBatch
 from repro.workloads.generators import QUERY_FAMILIES
 
-__all__ = ["run_sweep", "check_monotone", "plot_report", "main"]
+__all__ = ["held_out_queries", "run_sweep", "check_monotone", "plot_report", "main"]
 
 #: The paper's comparison set: Proteus against the three fixed baselines.
 DEFAULT_FAMILIES = ("proteus", "surf", "rosetta", "prefix_bloom")
@@ -47,7 +47,7 @@ DEFAULT_FAMILIES = ("proteus", "surf", "rosetta", "prefix_bloom")
 DEFAULT_GRID = (8.0, 10.0, 12.0, 14.0, 16.0, 18.0)
 
 
-def _held_out_queries(
+def held_out_queries(
     workload: Workload, count: int, seed: int, query_family: str
 ) -> QueryBatch:
     """A fresh query batch from the same family the workload sampled.
@@ -91,7 +91,7 @@ def run_sweep(
         num_keys, num_queries, width, seed=seed,
         key_dist=key_dist, query_family=query_family,
     )
-    eval_batch = _held_out_queries(
+    eval_batch = held_out_queries(
         workload, num_eval_queries or num_queries, seed + 1, query_family
     )
     oracle = TrieOracle(workload.keys.keys, width)

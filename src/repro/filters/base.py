@@ -22,7 +22,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
-from repro.keys.keyspace import sorted_distinct_keys
+from repro.keys.keyspace import KeySpace, sorted_distinct_keys
 from repro.keys.lcp import MAX_VECTOR_WIDTH
 from repro.trie.node_trie import ByteTrie
 from repro.workloads.batch import EncodedKeySet, as_key_array, coerce_query_batch
@@ -130,7 +130,7 @@ class RangeFilter(ABC):
     num_keys: int
     #: Optional :class:`~repro.keys.keyspace.KeySpace` set by self-designing
     #: builders; when present, raw-domain queries are encoded through it.
-    key_space = None
+    key_space: KeySpace | None = None
 
     def _encode(self, key) -> int:
         return self.key_space.encode(key) if self.key_space is not None else key
@@ -188,6 +188,17 @@ class RangeFilter(ABC):
     def bits_per_key(self) -> float:
         """Return the payload footprint divided by the number of keys."""
         return self.size_in_bits() / self.num_keys if self.num_keys else 0.0
+
+    def size_breakdown(self) -> dict[str, int]:
+        """Return the charged footprint per component, in bits.
+
+        The values always sum to :meth:`size_in_bits` — that identity is what
+        lets the LSM cost accounting sum per-SST filters into per-level
+        memory without knowing any family's internals.  Single-component
+        filters report one ``"total"`` entry; layered families override this
+        with one entry per layer.
+        """
+        return {"total": self.size_in_bits()}
 
     def _check_range(self, lo: int, hi: int) -> None:
         if lo > hi:

@@ -187,6 +187,13 @@ class Rosetta(RangeFilter):
     def size_in_bits(self) -> int:
         return sum(bloom.size_in_bits() for bloom in self._blooms.values())
 
+    def size_breakdown(self) -> dict[str, int]:
+        """Per-level charged footprint, one entry per filtered prefix length."""
+        return {
+            f"level_{level}": bloom.size_in_bits()
+            for level, bloom in sorted(self._blooms.items())
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Rosetta(keys={self.num_keys}, width={self.width}, "

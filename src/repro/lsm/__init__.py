@@ -1,0 +1,25 @@
+"""LSM tree substrate with per-SST range filters and a simulated I/O model.
+
+The paper's end-to-end setting: a leveled LSM tree where every SST owns a
+range filter self-designed (or budget-derived) from one shared workload
+sample, and where the value of a filter is measured in *avoided block
+reads*.
+
+* :class:`~repro.lsm.sstable.SSTable` — one sorted key run (a zero-copy
+  slice of its level's array) with min/max fences and an optional filter;
+* :class:`~repro.lsm.tree.LSMTree` — leveled geometry, per-SST filter
+  construction through :mod:`repro.api`, and batched probe routing;
+* :class:`~repro.lsm.cost.CostModel` / :class:`~repro.lsm.cost.ProbeResult`
+  — the I/O pricing (block read charged only on a filter positive) and the
+  per-query accounting, including the paper's false-positive-block-read
+  metric.
+
+The benchmark driver lives in :mod:`repro.evaluation.lsm_bench`
+(``python -m repro.evaluation.lsm_bench``).
+"""
+
+from repro.lsm.cost import CostModel, LevelStats, ProbeResult
+from repro.lsm.sstable import SSTable
+from repro.lsm.tree import LSMTree
+
+__all__ = ["CostModel", "LevelStats", "ProbeResult", "SSTable", "LSMTree"]

@@ -1,0 +1,152 @@
+"""The simulated I/O cost model for LSM probes.
+
+The paper's end-to-end claim is about *I/O*: a range filter earns its memory
+by turning disk reads into filter negatives.  This module prices a probe the
+way the RocksDB experiment does:
+
+* consulting an SST's fences is free (they live in the table index, always
+  resident);
+* consulting the SST's filter costs :attr:`CostModel.filter_probe_cost`
+  (CPU, zero by default — the paper reports I/O counts);
+* a filter positive (or any fence-surviving probe when the SST has no
+  filter) charges exactly one data-block read at
+  :attr:`CostModel.block_read_cost` — the seek into the table that either
+  finds the key or discovers the false positive.
+
+:class:`ProbeResult` carries the per-query accounting a probe produces; its
+``false_positive_reads`` (block reads on SSTs that held no matching key) is
+the paper's Fig. 9 metric, and ``missed_reads`` is the zero-false-negative
+invariant — any nonzero entry means a filter rejected an SST that actually
+contained a matching key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CostModel", "LevelStats", "ProbeResult"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Charge rates for the simulated probe path."""
+
+    #: Cost of fetching one data block after a positive probe.
+    block_read_cost: float = 1.0
+    #: Cost of one filter membership/intersection probe (CPU; free by default).
+    filter_probe_cost: float = 0.0
+
+    def __post_init__(self):
+        if self.block_read_cost < 0 or self.filter_probe_cost < 0:
+            raise ValueError("cost rates must be non-negative")
+
+    def io_cost(self, blocks_read: int, filter_probes: int) -> float:
+        """Total charged cost of a probe run."""
+        return (
+            blocks_read * self.block_read_cost + filter_probes * self.filter_probe_cost
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "block_read_cost": self.block_read_cost,
+            "filter_probe_cost": self.filter_probe_cost,
+        }
+
+
+@dataclass
+class LevelStats:
+    """Aggregate probe accounting for one LSM level."""
+
+    level: int
+    candidates: int = 0  # fence-surviving (query, SST) pairs
+    filter_probes: int = 0  # filter consultations (0 when unfiltered)
+    blocks_read: int = 0  # charged data-block reads
+    required_reads: int = 0  # reads of SSTs that truly held a match
+    false_positive_reads: int = 0  # reads of SSTs that held none
+    missed_reads: int = 0  # truly-matching SSTs rejected by a filter (bug!)
+
+    def to_dict(self) -> dict:
+        return {
+            "level": self.level,
+            "candidates": self.candidates,
+            "filter_probes": self.filter_probes,
+            "blocks_read": self.blocks_read,
+            "required_reads": self.required_reads,
+            "false_positive_reads": self.false_positive_reads,
+            "missed_reads": self.missed_reads,
+        }
+
+
+@dataclass
+class ProbeResult:
+    """Per-query probe accounting across the whole tree.
+
+    Every array is aligned with the probed :class:`~repro.workloads.batch.
+    QueryBatch`.  ``missed_reads`` counts truly-matching SSTs whose filter
+    answered ``False`` — it must be identically zero for any correct filter
+    (no false negatives).  ``LSMTree.probe`` records rather than raises (so
+    a buggy third-party filter can be *diagnosed*, per query and per
+    level); the benchmark driver fails the run on any nonzero entry.
+    """
+
+    candidates: np.ndarray
+    filter_probes: np.ndarray
+    blocks_read: np.ndarray
+    required_reads: np.ndarray
+    false_positive_reads: np.ndarray
+    missed_reads: np.ndarray
+    per_level: list[LevelStats] = field(default_factory=list)
+
+    @classmethod
+    def zeros(cls, num_queries: int, num_levels: int) -> "ProbeResult":
+        return cls(
+            candidates=np.zeros(num_queries, dtype=np.int64),
+            filter_probes=np.zeros(num_queries, dtype=np.int64),
+            blocks_read=np.zeros(num_queries, dtype=np.int64),
+            required_reads=np.zeros(num_queries, dtype=np.int64),
+            false_positive_reads=np.zeros(num_queries, dtype=np.int64),
+            missed_reads=np.zeros(num_queries, dtype=np.int64),
+            per_level=[LevelStats(level) for level in range(num_levels)],
+        )
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.candidates.size)
+
+    def total_blocks_read(self) -> int:
+        return int(self.blocks_read.sum())
+
+    def total_false_positive_reads(self) -> int:
+        return int(self.false_positive_reads.sum())
+
+    def total_required_reads(self) -> int:
+        return int(self.required_reads.sum())
+
+    def total_filter_probes(self) -> int:
+        return int(self.filter_probes.sum())
+
+    def io_cost(self, model: CostModel) -> float:
+        return model.io_cost(self.total_blocks_read(), self.total_filter_probes())
+
+    def empty_query_mask(self) -> np.ndarray:
+        """Queries no SST in the tree holds a matching key for."""
+        return self.required_reads == 0
+
+    def to_dict(self, model: CostModel | None = None) -> dict:
+        """JSON-ready totals (plus the charged cost when a model is given)."""
+        summary = {
+            "num_queries": self.num_queries,
+            "candidates": int(self.candidates.sum()),
+            "filter_probes": self.total_filter_probes(),
+            "blocks_read": self.total_blocks_read(),
+            "required_reads": self.total_required_reads(),
+            "false_positive_reads": self.total_false_positive_reads(),
+            "missed_reads": int(self.missed_reads.sum()),
+            "num_empty_queries": int(self.empty_query_mask().sum()),
+            "per_level": [stats.to_dict() for stats in self.per_level],
+        }
+        if model is not None:
+            summary["io_cost"] = self.io_cost(model)
+        return summary

@@ -1,0 +1,109 @@
+"""SSTables: contiguous key-set slices with fences and an optional filter.
+
+An SST here is what the I/O cost model needs of a RocksDB table file: a
+sorted, contiguous run of keys (a zero-copy
+:meth:`~repro.workloads.batch.EncodedKeySet.slice` view into its level's key
+array), its min/max *fences* (always resident, consulted for free), and the
+per-SST range filter the paper attaches — built through the
+:mod:`repro.api` registry from a shared workload sample, exactly like every
+other filter in the repository.
+
+The SST also knows its own ground truth (:meth:`matches_many`): whether a
+query range actually contains one of its keys, via binary search on the
+slice.  The cost model compares filter answers against this to classify
+each charged block read as required or false-positive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.spec import FilterSpec
+from repro.filters.base import RangeFilter
+from repro.workloads.batch import EncodedKeySet, QueryBatch
+
+__all__ = ["SSTable"]
+
+
+class SSTable:
+    """One sorted run of keys with fences and an optional range filter."""
+
+    __slots__ = ("level", "index", "keys", "filter", "spec")
+
+    def __init__(self, level: int, index: int, keys: EncodedKeySet):
+        if len(keys) == 0:
+            raise ValueError("an SSTable must hold at least one key")
+        self.level = level
+        self.index = index
+        self.keys = keys
+        self.filter: RangeFilter | None = None
+        self.spec: FilterSpec | None = None
+
+    @property
+    def width(self) -> int:
+        return self.keys.width
+
+    @property
+    def min_key(self) -> int:
+        """Lower fence: the smallest key in the table."""
+        return int(self.keys.keys[0])
+
+    @property
+    def max_key(self) -> int:
+        """Upper fence: the largest key in the table."""
+        return int(self.keys.keys[-1])
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def attach_filter(self, filt: RangeFilter, spec: FilterSpec | None = None) -> None:
+        """Install the per-SST filter (and remember the spec that built it)."""
+        if filt.width != self.width:
+            raise ValueError(
+                f"filter width {filt.width} does not match SST width {self.width}"
+            )
+        self.filter = filt
+        self.spec = spec
+
+    def clear_filter(self) -> None:
+        self.filter = None
+        self.spec = None
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        """Fence check: can ``[lo, hi]`` intersect this table at all?"""
+        return self.min_key <= hi and self.max_key >= lo
+
+    def matches_many(self, los: np.ndarray, his: np.ndarray) -> np.ndarray:
+        """Exact per-query truth: does ``[lo, hi]`` contain a key of this SST?
+
+        ``[lo, hi]`` contains a key iff the first key ``>= lo`` exists and is
+        ``<= hi`` — two binary searches on the sorted slice.  Works for the
+        ``object``-dtype wide-key fallback too (``searchsorted`` compares
+        Python ints).
+        """
+        arr = self.keys.keys
+        idx = np.searchsorted(arr, los, side="left")
+        safe = np.minimum(idx, len(arr) - 1)
+        found = (idx < len(arr)) & np.asarray(arr[safe] <= his, dtype=bool)
+        return np.asarray(found, dtype=bool)
+
+    def probe_many(self, batch: QueryBatch) -> np.ndarray:
+        """Filter answers for a (fence-surviving) query batch.
+
+        With no filter attached every probe is positive — the no-filter
+        baseline reads every fence-surviving table.
+        """
+        if self.filter is None:
+            return np.ones(len(batch), dtype=bool)
+        return self.filter.may_intersect_many(batch)
+
+    def filter_size_bits(self) -> int:
+        """Charged footprint of the attached filter (0 when none)."""
+        return self.filter.size_in_bits() if self.filter is not None else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SSTable(level={self.level}, index={self.index}, keys={len(self)}, "
+            f"fences=[{self.min_key}, {self.max_key}], "
+            f"filter={'yes' if self.filter is not None else 'no'})"
+        )

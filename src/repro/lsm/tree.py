@@ -1,0 +1,271 @@
+"""The LSM tree substrate: leveled geometry, per-SST filters, batched probes.
+
+This is the paper's end-to-end RocksDB experiment as a simulation:
+
+* **Geometry** — leveled compaction shape.  Level ``i`` holds up to
+  ``fanout**i`` SSTs of ``sst_keys`` keys each; levels fill top-down, the
+  deepest level absorbing the remainder, so the bulk of the data sits at the
+  bottom — the steady state leveled compaction converges to.  Keys are
+  assigned to levels by a seeded permutation, so every level is a sorted run
+  spanning the whole key space: levels overlap each other (queries must
+  consult all of them) while the SSTs *within* a level are disjoint and
+  fence-pruned by binary search, exactly as in RocksDB.
+* **Filters** — :meth:`LSMTree.attach_filters` builds one filter per SST
+  through the uniform registry protocol: a global
+  :class:`~repro.api.spec.FilterSpec` is split into per-SST specs
+  (:func:`~repro.api.budget.derive_sst_specs`) and every SST builds via
+  ``build_filter(sst_spec, sst.keys, workload)`` from **one shared query
+  sample** — the paper's deployment, where each table self-designs against
+  the system-wide sample.
+* **Probes** — :meth:`LSMTree.probe` replays a
+  :class:`~repro.workloads.batch.QueryBatch` through the tree with batched
+  routing: per level, two ``searchsorted`` calls locate each query's
+  fence-surviving SST interval; per SST, the surviving queries form one
+  sub-batch answered by a single vectorised filter call.  Accounting follows
+  :mod:`repro.lsm.cost`: a block read is charged only on a filter positive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import FilterSpec, Workload, build_filter, derive_sst_specs
+from repro.filters.base import ragged_ranges
+from repro.lsm.cost import CostModel, ProbeResult
+from repro.lsm.sstable import SSTable
+from repro.workloads.batch import EncodedKeySet, coerce_query_batch
+
+__all__ = ["LSMTree"]
+
+#: Default SST capacity in keys.
+DEFAULT_SST_KEYS = 512
+
+#: Default level-size growth factor (RocksDB's default is 10; 4 keeps the
+#: smoke-scale trees multi-level).
+DEFAULT_FANOUT = 4
+
+
+class LSMTree:
+    """A leveled LSM tree of :class:`~repro.lsm.sstable.SSTable` runs."""
+
+    def __init__(
+        self,
+        levels: list[list[SSTable]],
+        width: int,
+        geometry: dict | None = None,
+    ):
+        if not levels or not all(levels):
+            raise ValueError("an LSM tree needs at least one non-empty level")
+        self.width = width
+        self.levels = levels
+        self.geometry = dict(geometry or {})
+        for level in levels:
+            for sst in level:
+                if sst.width != width:
+                    raise ValueError(
+                        f"SST width {sst.width} does not match tree width {width}"
+                    )
+        # Per-level fence arrays: SSTs in a level are disjoint and sorted,
+        # so min/max fences are both increasing and a query's candidate SSTs
+        # form the contiguous interval two searchsorted calls locate.
+        self._fences = []
+        for level in levels:
+            dtype = np.int64 if level[0].keys.is_vector else object
+            mins = np.array([sst.min_key for sst in level], dtype=dtype)
+            maxs = np.array([sst.max_key for sst in level], dtype=dtype)
+            self._fences.append((mins, maxs))
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                       #
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        keys: EncodedKeySet,
+        sst_keys: int = DEFAULT_SST_KEYS,
+        fanout: int = DEFAULT_FANOUT,
+        seed: int = 0,
+    ) -> "LSMTree":
+        """Build the leveled tree over ``keys`` (filters attached separately).
+
+        Level ``i`` has capacity ``sst_keys * fanout**i`` keys; levels fill
+        shallow-to-deep, the deepest taking the remainder.  A seeded
+        permutation decides which key lands in which level, then each
+        level's keys are sorted and chopped into contiguous SSTs — zero-copy
+        :meth:`~repro.workloads.batch.EncodedKeySet.slice` views of the
+        level array.
+        """
+        if not isinstance(keys, EncodedKeySet):
+            raise TypeError("LSMTree.build takes an EncodedKeySet")
+        if len(keys) == 0:
+            raise ValueError("cannot build an LSM tree over zero keys")
+        if sst_keys < 1:
+            raise ValueError("sst_keys must be at least 1")
+        if fanout < 1:
+            raise ValueError("fanout must be at least 1")
+        sizes: list[int] = []
+        remaining = len(keys)
+        while remaining > 0:
+            capacity = sst_keys * fanout ** len(sizes)
+            take = min(capacity, remaining)
+            sizes.append(take)
+            remaining -= take
+        perm = np.random.default_rng(seed).permutation(len(keys))
+        levels: list[list[SSTable]] = []
+        offset = 0
+        for level_index, size in enumerate(sizes):
+            chosen = perm[offset : offset + size]
+            offset += size
+            level_set = EncodedKeySet._trusted(np.sort(keys.keys[chosen]), keys.width)
+            ssts = []
+            for sst_index, start in enumerate(range(0, size, sst_keys)):
+                ssts.append(
+                    SSTable(
+                        level_index,
+                        sst_index,
+                        level_set.slice(start, min(start + sst_keys, size)),
+                    )
+                )
+            levels.append(ssts)
+        geometry = {"sst_keys": sst_keys, "fanout": fanout, "seed": seed}
+        return cls(levels, keys.width, geometry)
+
+    def attach_filters(
+        self,
+        spec: FilterSpec,
+        workload: Workload,
+        policy: str = "proportional",
+    ) -> None:
+        """Build one filter per SST from ``spec`` and the shared sample.
+
+        ``spec`` carries the *global* bits-per-key budget; ``policy`` says
+        how it splits across SSTs (:mod:`repro.api.budget`).  Every SST
+        builds through ``build_filter(sst_spec, sst.keys, workload)`` — the
+        self-designing families run Algorithm 1 per SST against the one
+        shared query sample, fixed baselines derive their knobs per SST.
+        """
+        ssts = self.sstables()
+        specs = derive_sst_specs(spec, [len(sst) for sst in ssts], policy)
+        for sst, sst_spec in zip(ssts, specs):
+            sst.attach_filter(build_filter(sst_spec, sst.keys, workload), sst_spec)
+
+    def clear_filters(self) -> None:
+        """Detach every SST's filter (the no-filter baseline)."""
+        for sst in self.sstables():
+            sst.clear_filter()
+
+    # ------------------------------------------------------------------ #
+    # Probing                                                            #
+    # ------------------------------------------------------------------ #
+
+    def probe(self, queries) -> ProbeResult:
+        """Replay a query batch through the tree and return the accounting.
+
+        Per level, each query's fence-surviving SSTs form a contiguous
+        interval (``first[q] <= j < last[q]``); per SST, the queries routed
+        to it are answered with one vectorised filter call and classified
+        against the SST's exact ground truth.
+        """
+        batch = coerce_query_batch(queries, self.width)
+        result = ProbeResult.zeros(len(batch), len(self.levels))
+        if len(batch) == 0:
+            return result
+        for level_index, level in enumerate(self.levels):
+            stats = result.per_level[level_index]
+            mins, maxs = self._fences[level_index]
+            # First SST whose max fence reaches lo; first whose min exceeds hi.
+            first = np.searchsorted(maxs, batch.los, side="left")
+            last = np.searchsorted(mins, batch.his, side="right")
+            active = last > first
+            if not active.any():
+                continue
+            # Flatten the (query, SST) routing pairs and group them by SST,
+            # so the work below is proportional to the routed pairs — not to
+            # num_ssts * num_queries, which a point-heavy batch over a wide
+            # bottom level would make mostly wasted all-False masks.
+            active_queries = np.nonzero(active)[0]
+            lengths = (last - first)[active]
+            flat_sst, _ = ragged_ranges(first[active], lengths)
+            flat_query = np.repeat(active_queries, lengths)
+            order = np.argsort(flat_sst, kind="stable")
+            flat_sst = flat_sst[order]
+            flat_query = flat_query[order]
+            boundaries = np.nonzero(np.diff(flat_sst))[0] + 1
+            starts = np.concatenate([[0], boundaries])
+            ends = np.concatenate([boundaries, [flat_sst.size]])
+            for start, end in zip(starts, ends):
+                sst = level[int(flat_sst[start])]
+                query_indices = flat_query[start:end]
+                sub = batch.select(query_indices)
+                truth = sst.matches_many(sub.los, sub.his)
+                positives = sst.probe_many(sub)
+                filtered = sst.filter is not None
+                result.candidates[query_indices] += 1
+                if filtered:
+                    result.filter_probes[query_indices] += 1
+                result.blocks_read[query_indices] += positives
+                result.required_reads[query_indices] += truth
+                result.false_positive_reads[query_indices] += positives & ~truth
+                result.missed_reads[query_indices] += truth & ~positives
+                stats.candidates += int(query_indices.size)
+                stats.filter_probes += int(query_indices.size) if filtered else 0
+                stats.blocks_read += int(positives.sum())
+                stats.required_reads += int(truth.sum())
+                stats.false_positive_reads += int((positives & ~truth).sum())
+                stats.missed_reads += int((truth & ~positives).sum())
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Accounting and introspection                                       #
+    # ------------------------------------------------------------------ #
+
+    def sstables(self) -> list[SSTable]:
+        """Every SST, shallow level first, left to right within a level."""
+        return [sst for level in self.levels for sst in level]
+
+    @property
+    def num_keys(self) -> int:
+        return sum(len(sst) for sst in self.sstables())
+
+    @property
+    def num_ssts(self) -> int:
+        return sum(len(level) for level in self.levels)
+
+    def filter_bits_per_level(self) -> list[int]:
+        """Per-level filter memory: the sum of each SST filter's charged bits."""
+        return [sum(sst.filter_size_bits() for sst in level) for level in self.levels]
+
+    def filter_size_bits(self) -> int:
+        """Tree-wide filter memory in bits."""
+        return sum(self.filter_bits_per_level())
+
+    def describe(self, cost_model: CostModel | None = None) -> dict:
+        """JSON-ready geometry and memory summary."""
+        summary = {
+            "width": self.width,
+            "num_keys": self.num_keys,
+            "num_levels": len(self.levels),
+            "num_ssts": self.num_ssts,
+            "geometry": dict(self.geometry),
+            "levels": [
+                {
+                    "level": index,
+                    "num_ssts": len(level),
+                    "num_keys": sum(len(sst) for sst in level),
+                    "filter_bits": bits,
+                }
+                for index, (level, bits) in enumerate(
+                    zip(self.levels, self.filter_bits_per_level())
+                )
+            ],
+        }
+        if cost_model is not None:
+            summary["cost_model"] = cost_model.to_dict()
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LSMTree(levels={len(self.levels)}, ssts={self.num_ssts}, "
+            f"keys={self.num_keys}, width={self.width})"
+        )

@@ -17,7 +17,7 @@ filter needs are therefore:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Iterable, Iterator, Optional
 
 
 class ByteTrieNode:

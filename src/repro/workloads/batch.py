@@ -24,7 +24,7 @@ or model is already known to be well-formed.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -115,6 +115,35 @@ class EncodedKeySet:
     def as_list(self) -> list[int]:
         """Return the keys as a plain sorted list of Python ints."""
         return self.keys.tolist()
+
+    @classmethod
+    def _trusted(cls, arr: np.ndarray, width: int) -> "EncodedKeySet":
+        """Wrap an array already known to be sorted, distinct and in-bounds.
+
+        The internal constructor behind :meth:`slice` and the LSM level
+        builder: no validation, no copy — ``arr`` is adopted as the backing
+        store, so the caller vouches for the invariants.
+        """
+        instance = cls.__new__(cls)
+        instance.width = width
+        instance.keys = arr
+        instance._prefix_cache = {}
+        instance._prefix_counts = None
+        return instance
+
+    def slice(self, start: int, stop: int) -> "EncodedKeySet":
+        """Return the contiguous sub-range ``[start, stop)`` as a zero-copy view.
+
+        Basic numpy slicing shares the backing buffer, and a contiguous slice
+        of a sorted distinct in-bounds array keeps every ``EncodedKeySet``
+        invariant, so no validation (and no copy) is needed — this is the
+        per-SST construction path: one encoded key array, many SSTable views.
+        """
+        if not 0 <= start <= stop <= len(self):
+            raise ValueError(
+                f"slice [{start}, {stop}) outside the key set of size {len(self)}"
+            )
+        return self._trusted(self.keys[start:stop], self.width)
 
     def prefixes(self, length: int) -> np.ndarray:
         """Return the sorted distinct ``length``-bit key prefixes (cached)."""
@@ -251,6 +280,21 @@ class QueryBatch:
     def to_list(self) -> list[tuple[int, int]]:
         """Return the queries as a plain list of ``(lo, hi)`` pairs."""
         return list(self.pairs())
+
+    def select(self, indices: np.ndarray) -> "QueryBatch":
+        """Return the sub-batch selected by ``indices`` (boolean or integer).
+
+        The sub-batch inherits this batch's validation state — selecting
+        rows cannot introduce an invalid query — so consumers that carve
+        one parent batch into many per-SST sub-batches (the LSM probe
+        router) never pay for re-validation.
+        """
+        sub = QueryBatch.__new__(QueryBatch)
+        sub.width = self.width
+        sub.los = self.los[indices]
+        sub.his = self.his[indices]
+        sub._validated = self._validated
+        return sub
 
     def spans(self) -> np.ndarray:
         """Return ``hi - lo + 1`` per query (the key count each covers).

@@ -246,3 +246,48 @@ class TestWorkload:
         other = QueryBatch.from_pairs([(0, 1)], WIDTH + 1)
         with pytest.raises(ValueError, match="width"):
             Workload(workload.keys, other)
+
+
+# --------------------------------------------------------------------- #
+# Per-SST budget derivation                                             #
+# --------------------------------------------------------------------- #
+
+
+class TestBudgetDerivation:
+    def test_proportional_split_keeps_bits_per_key(self):
+        from repro.api import allocate_sst_budgets
+
+        budgets = allocate_sst_budgets(14.0, [512, 512, 100])
+        assert budgets == [14.0, 14.0, 14.0]
+
+    def test_equal_split_preserves_the_global_grant(self):
+        from repro.api import allocate_sst_budgets
+
+        counts = [512, 256, 64]
+        budgets = allocate_sst_budgets(12.0, counts, policy="equal")
+        total = sum(b * n for b, n in zip(budgets, counts))
+        assert total == pytest.approx(12.0 * sum(counts))
+        # Same total bits each: small SSTs run rich.
+        per_sst = {round(b * n, 6) for b, n in zip(budgets, counts)}
+        assert len(per_sst) == 1
+
+    def test_rejects_bad_inputs(self):
+        from repro.api import allocate_sst_budgets
+
+        with pytest.raises(ValueError, match="at least one SST"):
+            allocate_sst_budgets(8.0, [])
+        with pytest.raises(ValueError, match="at least one key"):
+            allocate_sst_budgets(8.0, [10, 0])
+        with pytest.raises(ValueError, match="positive"):
+            allocate_sst_budgets(0.0, [10])
+        with pytest.raises(ValueError, match="unknown allocation policy"):
+            allocate_sst_budgets(8.0, [10], policy="greedy")
+
+    def test_derive_sst_specs_carries_family_and_params(self):
+        from repro.api import derive_sst_specs
+
+        spec = FilterSpec("proteus", 16.0, {"seed": 7})
+        derived = derive_sst_specs(spec, [100, 200], policy="equal")
+        assert [s.family for s in derived] == ["proteus", "proteus"]
+        assert all(dict(s.params) == {"seed": 7} for s in derived)
+        assert derived[0].bits_per_key > derived[1].bits_per_key

@@ -1,0 +1,40 @@
+"""Smoke tests for the benchmark harness driver (repro.evaluation.bench)."""
+
+import json
+
+import pytest
+
+from repro.evaluation.bench import main, run_benchmarks
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_benchmarks(num_keys=400, num_queries=200, width=32, seed=9, repeats=1)
+
+
+class TestBenchHarness:
+    def test_report_has_all_sections(self, report):
+        assert set(report["speedups"]) >= {"design_search", "range_probe"}
+        for timings in report["benchmarks"].values():
+            assert timings["scalar_seconds"] > 0
+            assert timings["batched_seconds"] > 0
+
+    def test_cli_writes_report(self, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        code = main(
+            [
+                "--keys", "300", "--queries", "150", "--repeats", "1",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        written = json.loads(output.read_text())
+        assert "speedups" in written
+        capsys.readouterr()  # swallow the printed report
+
+    def test_min_speedup_gate_can_fail(self, capsys):
+        # An absurd floor no machine reaches: the gate must return nonzero.
+        code = main(["--keys", "300", "--queries", "150", "--repeats", "1",
+                     "--min-speedup", "1e9"])
+        assert code == 1
+        capsys.readouterr()

@@ -57,7 +57,7 @@ class TestModelInternals:
         keys = random_keys(rng, 500, WIDTH)
         queries = mixed_queries(rng, keys, 300, WIDTH)
         model = CPFPRModel(keys, WIDTH, queries)
-        fractions = [model.certain_fp_fraction(l) for l in range(WIDTH + 1)]
+        fractions = [model.certain_fp_fraction(depth) for depth in range(WIDTH + 1)]
         assert fractions == sorted(fractions, reverse=True)
         assert fractions[0] == 1.0
 

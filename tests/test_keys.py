@@ -116,7 +116,7 @@ class TestLcp:
         rng = random.Random(7)
         keys = sorted(rng.sample(range(1 << width), 300))
         lengths = min_distinguishing_prefix_lengths(keys, width)
-        truncated = [k >> (width - l) << (width - l) for k, l in zip(keys, lengths)]
+        truncated = [k >> (width - n) << (width - n) for k, n in zip(keys, lengths)]
         # At its distinguishing length, each key's prefix matches no other key.
         for key, length in zip(keys, lengths):
             if length == width:

@@ -1,0 +1,255 @@
+"""Tests for the LSM substrate: geometry, fences, filters, cost accounting."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import FilterSpec, Workload, build_filter
+from repro.evaluation.lsm_bench import check_report, main, run_lsm_bench
+from repro.lsm import CostModel, LSMTree, ProbeResult, SSTable
+from repro.workloads import EncodedKeySet, QueryBatch
+
+WIDTH = 32
+
+
+@pytest.fixture(scope="module")
+def workload() -> Workload:
+    return Workload.generate(num_keys=3000, num_queries=1200, width=WIDTH, seed=11)
+
+
+@pytest.fixture(scope="module")
+def tree(workload) -> LSMTree:
+    return LSMTree.build(workload.keys, sst_keys=256, fanout=4, seed=11)
+
+
+class TestGeometry:
+    def test_levels_follow_leveled_capacities(self, tree):
+        # 3000 keys at 256 keys/SST, fanout 4: 256 + 1024 + remainder.
+        sizes = [sum(len(sst) for sst in level) for level in tree.levels]
+        assert sizes == [256, 1024, 1720]
+        assert [len(level) for level in tree.levels] == [1, 4, 7]
+        assert tree.num_keys == 3000
+
+    def test_every_key_lands_in_exactly_one_sst(self, tree, workload):
+        seen = np.concatenate([sst.keys.keys for sst in tree.sstables()])
+        assert sorted(seen.tolist()) == workload.keys.as_list()
+
+    def test_ssts_within_a_level_are_disjoint_and_ordered(self, tree):
+        for level in tree.levels:
+            for left, right in zip(level, level[1:]):
+                assert left.max_key < right.min_key
+
+    def test_sst_slices_are_zero_copy_views(self, tree):
+        for level in tree.levels:
+            if len(level) < 2:
+                continue
+            base = level[0].keys.keys.base
+            assert base is not None
+            for sst in level:
+                assert sst.keys.keys.base is base
+
+    def test_build_is_seed_deterministic(self, workload):
+        one = LSMTree.build(workload.keys, sst_keys=256, fanout=4, seed=11)
+        two = LSMTree.build(workload.keys, sst_keys=256, fanout=4, seed=11)
+        for left, right in zip(one.sstables(), two.sstables()):
+            assert left.keys.keys.tolist() == right.keys.keys.tolist()
+
+    def test_build_rejects_bad_inputs(self, workload):
+        with pytest.raises(TypeError):
+            LSMTree.build([1, 2, 3])
+        with pytest.raises(ValueError):
+            LSMTree.build(EncodedKeySet([], WIDTH))
+        with pytest.raises(ValueError):
+            LSMTree.build(workload.keys, sst_keys=0)
+        with pytest.raises(ValueError):
+            LSMTree.build(workload.keys, fanout=0)
+
+    def test_sstable_rejects_empty_and_width_mismatch(self, workload):
+        with pytest.raises(ValueError):
+            SSTable(0, 0, EncodedKeySet([], WIDTH))
+        sst = SSTable(0, 0, EncodedKeySet([1, 2, 3], WIDTH))
+        narrow = build_filter(FilterSpec("bloom", 8.0, {"width": 8}), [1, 2, 3])
+        with pytest.raises(ValueError):
+            sst.attach_filter(narrow)
+
+
+class TestFencePruning:
+    def test_candidates_match_brute_force_fence_overlap(self, tree, workload):
+        batch = workload.queries
+        result = tree.probe(batch)
+        ssts = tree.sstables()
+        for i, (lo, hi) in enumerate(batch.pairs()):
+            expected = sum(1 for sst in ssts if sst.overlaps(lo, hi))
+            assert int(result.candidates[i]) == expected
+
+    def test_fences_never_prune_a_matching_sst(self, tree, workload):
+        # Every SST that truly holds a key of [lo, hi] must survive its
+        # fences — pruning is only ever exact.
+        result = tree.probe(workload.queries)
+        for i, (lo, hi) in enumerate(workload.queries.pairs()):
+            truly = sum(
+                1
+                for sst in tree.sstables()
+                if bool(
+                    sst.matches_many(
+                        np.array([lo], dtype=np.int64), np.array([hi], dtype=np.int64)
+                    )[0]
+                )
+            )
+            assert int(result.required_reads[i]) == truly
+            assert int(result.candidates[i]) >= truly
+
+    def test_unfiltered_probe_reads_every_candidate(self, tree, workload):
+        tree.clear_filters()
+        result = tree.probe(workload.queries)
+        assert (result.blocks_read == result.candidates).all()
+        assert result.total_filter_probes() == 0
+
+
+class TestPerSstFilters:
+    @pytest.fixture(scope="class")
+    def filtered_tree(self, workload):
+        filtered = LSMTree.build(workload.keys, sst_keys=256, fanout=4, seed=11)
+        filtered.attach_filters(FilterSpec("proteus", 12.0), workload)
+        return filtered
+
+    def test_zero_false_negatives_through_the_tree(self, filtered_tree, workload):
+        # Every present key's point probe must reach its SST: zero missed
+        # reads, and at least one required (and charged) read per key.
+        points = QueryBatch.points(workload.keys.as_list(), WIDTH)
+        result = filtered_tree.probe(points)
+        assert int(result.missed_reads.sum()) == 0
+        assert (result.required_reads >= 1).all()
+        assert (result.blocks_read >= result.required_reads).all()
+
+    def test_zero_false_negatives_for_every_family(self, workload):
+        small = Workload.generate(num_keys=600, num_queries=400, width=WIDTH, seed=3)
+        points = QueryBatch.points(small.keys.as_list(), WIDTH)
+        for family in ("bloom", "prefix_bloom", "surf", "rosetta", "1pbf", "2pbf"):
+            little = LSMTree.build(small.keys, sst_keys=128, fanout=4, seed=3)
+            little.attach_filters(FilterSpec(family, 12.0), small)
+            result = little.probe(points)
+            assert int(result.missed_reads.sum()) == 0, family
+            assert (result.required_reads >= 1).all(), family
+
+    def test_filtered_reads_are_a_subset_of_candidates(self, filtered_tree, workload):
+        result = filtered_tree.probe(workload.queries)
+        assert (result.blocks_read <= result.candidates).all()
+        assert (result.filter_probes == result.candidates).all()
+
+    def test_per_level_memory_sums_match_each_filter(self, filtered_tree):
+        per_level = filtered_tree.filter_bits_per_level()
+        for level, expected in zip(filtered_tree.levels, per_level):
+            assert expected == sum(sst.filter.size_in_bits() for sst in level)
+        assert filtered_tree.filter_size_bits() == sum(per_level)
+
+    def test_size_breakdown_sums_to_size_in_bits(self, filtered_tree):
+        for sst in filtered_tree.sstables():
+            breakdown = sst.filter.size_breakdown()
+            assert sum(breakdown.values()) == sst.filter.size_in_bits()
+
+    def test_equal_policy_preserves_the_global_bit_grant(self, workload):
+        equal = LSMTree.build(workload.keys, sst_keys=256, fanout=4, seed=11)
+        equal.attach_filters(FilterSpec("bloom", 12.0), workload, policy="equal")
+        specs = [sst.spec for sst in equal.sstables()]
+        granted = sum(
+            spec.bits_per_key * len(sst)
+            for spec, sst in zip(specs, equal.sstables())
+        )
+        assert granted == pytest.approx(12.0 * workload.num_keys)
+        # Equal split: every SST asked for the same total bits.
+        totals = {round(spec.bits_per_key * len(sst)) for spec, sst in zip(specs, equal.sstables())}
+        assert len(totals) <= 2  # rounding may straddle one bit
+
+    def test_clear_filters_restores_the_baseline(self, workload):
+        tree = LSMTree.build(workload.keys, sst_keys=256, fanout=4, seed=11)
+        tree.attach_filters(FilterSpec("bloom", 8.0), workload)
+        assert tree.filter_size_bits() > 0
+        tree.clear_filters()
+        assert tree.filter_size_bits() == 0
+        result = tree.probe(workload.queries)
+        assert (result.blocks_read == result.candidates).all()
+
+
+class TestCostModel:
+    def test_io_cost_prices_blocks_and_probes(self):
+        model = CostModel(block_read_cost=2.0, filter_probe_cost=0.25)
+        assert model.io_cost(blocks_read=10, filter_probes=8) == 22.0
+        with pytest.raises(ValueError):
+            CostModel(block_read_cost=-1.0)
+
+    def test_probe_result_totals_and_empty_mask(self):
+        result = ProbeResult.zeros(4, 2)
+        result.blocks_read[:] = [2, 0, 1, 0]
+        result.required_reads[:] = [1, 0, 0, 0]
+        result.filter_probes[:] = [3, 1, 2, 1]
+        assert result.total_blocks_read() == 3
+        assert result.empty_query_mask().tolist() == [False, True, True, True]
+        summary = result.to_dict(CostModel(filter_probe_cost=1.0))
+        assert summary["io_cost"] == 3 + 7
+        assert summary["num_empty_queries"] == 3
+
+    def test_probe_on_empty_batch_is_all_zero(self, tree):
+        result = tree.probe(QueryBatch.from_pairs([], WIDTH))
+        assert result.num_queries == 0
+        assert result.total_blocks_read() == 0
+
+
+class TestLsmBench:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_lsm_bench(
+            families=("bloom", "proteus"),
+            num_keys=1200, num_queries=500, sst_keys=128, seed=5,
+        )
+
+    def test_report_is_seed_deterministic(self, report):
+        again = run_lsm_bench(
+            families=("bloom", "proteus"),
+            num_keys=1200, num_queries=500, sst_keys=128, seed=5,
+        )
+        assert json.dumps(report, sort_keys=True) == json.dumps(again, sort_keys=True)
+
+    def test_filtered_configs_beat_the_no_filter_baseline(self, report):
+        assert check_report(report) == []
+        baseline = report["configs"]["no_filter"]["probe"]
+        for name in ("bloom", "proteus"):
+            probe = report["configs"][name]["probe"]
+            assert probe["blocks_read"] <= baseline["blocks_read"]
+            assert probe["false_positive_reads"] < baseline["false_positive_reads"]
+
+    def test_report_memory_accounting_is_consistent(self, report):
+        for name in ("bloom", "proteus"):
+            config = report["configs"][name]
+            assert sum(config["filter_bits_per_level"]) == config["filter_bits"]
+            assert config["filter_bits_per_key"] == pytest.approx(
+                config["filter_bits"] / report["tree"]["num_keys"]
+            )
+
+    def test_check_report_flags_violations(self, report):
+        broken = json.loads(json.dumps(report))
+        broken["configs"]["bloom"]["probe"]["blocks_read"] = (
+            broken["configs"]["no_filter"]["probe"]["blocks_read"] + 1
+        )
+        broken["configs"]["proteus"]["probe"]["false_positive_reads"] = 10**9
+        flagged = check_report(broken)
+        assert any("bloom: blocks_read" in line for line in flagged)
+        assert any("proteus" in line for line in flagged)
+
+    def test_budget_free_family_is_rejected(self):
+        with pytest.raises(ValueError, match="oracle"):
+            run_lsm_bench(families=("oracle",), num_keys=200, num_queries=100)
+
+    def test_cli_writes_report_and_checks(self, tmp_path):
+        output = tmp_path / "lsm.json"
+        code = main(
+            [
+                "--keys", "800", "--queries", "300", "--sst-keys", "128",
+                "--families", "bloom,proteus", "--check",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        written = json.loads(output.read_text())
+        assert set(written["configs"]) == {"no_filter", "bloom", "proteus"}

@@ -96,3 +96,29 @@ def test_empty_inputs_are_rejected():
         run_sweep(families=(), grid=(8.0,))
     with pytest.raises(ValueError):
         run_sweep(families=("bloom",), grid=())
+
+
+def test_cli_writes_report_and_gates(tmp_path, capsys):
+    from repro.evaluation.sweep import main, plot_report
+
+    output = tmp_path / "sweep.json"
+    code = main(
+        [
+            "--keys", "400", "--queries", "200", "--width", "24",
+            "--families", "proteus,prefix_bloom", "--grid", "8,16",
+            "--check-monotone", "--monotone-tolerance", "0.05",
+            "--output", str(output),
+        ]
+    )
+    assert code == 0
+    import json
+
+    written = json.loads(output.read_text())
+    assert set(written["curves"]) == {"proteus", "prefix_bloom"}
+    capsys.readouterr()
+    # plot_report degrades gracefully: True with matplotlib, False without —
+    # either way the figure path decision is exercised, never an exception.
+    outcome = plot_report(written, str(tmp_path / "curves.png"))
+    assert outcome in (True, False)
+    if outcome:
+        assert (tmp_path / "curves.png").exists()

@@ -101,6 +101,32 @@ class TestEncodedKeySet:
         ks = EncodedKeySet.from_raw([b"abc", b"abd"], space)
         assert ks.width == 32 and len(ks) == 2
 
+    def test_slice_is_a_zero_copy_view(self):
+        ks = EncodedKeySet(range(100), 16)
+        view = ks.slice(10, 40)
+        assert isinstance(view, EncodedKeySet)
+        assert view.as_list() == list(range(10, 40))
+        # The pin of the satellite: basic slicing must share the buffer —
+        # the view's base *is* the parent array, no copy anywhere.
+        assert view.keys.base is ks.keys
+        assert np.shares_memory(view.keys, ks.keys)
+
+    def test_slice_bounds_and_invariants(self):
+        ks = EncodedKeySet([2, 4, 6, 8], 8)
+        assert ks.slice(0, 4).as_list() == [2, 4, 6, 8]
+        assert ks.slice(2, 2).as_list() == []
+        assert ks.slice(1, 3).prefix_counts() == unique_prefix_counts([4, 6], 8)
+        for start, stop in ((-1, 2), (3, 2), (0, 5)):
+            with pytest.raises(ValueError):
+                ks.slice(start, stop)
+
+    def test_slice_of_wide_space_keys(self):
+        ks = EncodedKeySet([5, 1 << 80, 1 << 90], 128)
+        view = ks.slice(1, 3)
+        assert not view.is_vector
+        assert view.as_list() == [1 << 80, 1 << 90]
+        assert view.keys.base is ks.keys
+
 
 class TestQueryBatch:
     def test_roundtrip_and_points(self):
@@ -123,6 +149,12 @@ class TestQueryBatch:
     def test_empty_batch(self):
         batch = QueryBatch.from_pairs([], 8)
         assert len(batch) == 0 and batch.to_list() == []
+
+    def test_select_carries_validation_state(self):
+        batch = QueryBatch.from_pairs([(1, 4), (9, 9), (20, 30)], 8)
+        sub = batch.select(np.array([True, False, True]))
+        assert sub.to_list() == [(1, 4), (20, 30)]
+        assert sub.width == batch.width and sub._validated
 
 
 class TestGenerators:
