@@ -10,8 +10,9 @@ The package is organised as a set of small, focused subpackages:
     the hashing substrate they rely on.
 ``repro.trie``
     Trie substrate: rank/select bit vectors, the byte-trie oracle, the
-    sorted prefix index used by Proteus' trie layer and the succinct size
-    models used by SuRF and Algorithm 1.
+    physical LOUDS-Dense/Sparse + Fast Succinct Trie encoders, the
+    sorted/succinct prefix indexes behind Proteus' trie layer and the
+    succinct size models used by SuRF and Algorithm 1.
 ``repro.filters``
     Range filters: the common interface, the exact trie oracle, prefix Bloom
     filters, SuRF and Rosetta.
@@ -49,6 +50,7 @@ from importlib import import_module
 
 _LAZY_EXPORTS = {
     "Proteus": "repro.core.proteus",
+    "FastSuccinctTrie": "repro.trie.fst",
     "OnePBF": "repro.core.prf",
     "TwoPBF": "repro.core.prf",
     "CPFPRModel": "repro.core.cpfpr",
@@ -80,7 +82,7 @@ _LAZY_EXPORTS = {
 
 __all__ = list(_LAZY_EXPORTS)
 
-__version__ = "1.3.0"
+__version__ = "1.5.0"
 
 
 def __getattr__(name: str):

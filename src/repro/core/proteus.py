@@ -5,10 +5,15 @@ workload, evaluates the CPFPR model over the full (trie depth ``l1``, Bloom
 prefix length ``l2``) design space under a bits-per-key budget (Algorithm 1),
 and instantiates the winning hybrid:
 
-* a uniform-depth trie holding every distinct ``l1``-bit key prefix — here a
-  :class:`~repro.trie.sorted_index.SortedPrefixIndex` whose footprint is
-  charged at the modelled succinct size
-  (:func:`repro.trie.size_model.binary_trie_size_estimate`), and
+* a uniform-depth trie holding every distinct ``l1``-bit key prefix — by
+  default a :class:`~repro.trie.sorted_index.SortedPrefixIndex` query
+  engine, swappable for the physical succinct
+  :class:`~repro.trie.fst.FSTPrefixIndex` via ``trie_impl="fst"``; either
+  way the footprint is *charged* at the modelled succinct size
+  (:func:`repro.trie.size_model.binary_trie_size_estimate`), the quantity
+  Algorithm 1 optimised, while the FST realisation also exposes its
+  measured byte-granular LOUDS-DS bits through
+  :meth:`Proteus.trie_layer_measured_bits` — and
 * a Bloom filter over the distinct ``l2``-bit key prefixes, holding the rest
   of the budget.
 
@@ -40,12 +45,18 @@ from repro.filters.base import (
 from repro.keys.keyspace import KeySpace, sorted_distinct_keys
 from repro.keys.lcp import MAX_VECTOR_WIDTH
 from repro.keys.prefix import distinct_prefixes
+from repro.trie.fst import FSTPrefixIndex
 from repro.trie.sorted_index import SortedPrefixIndex
 from repro.workloads.batch import as_key_array, coerce_query_batch, slot_bounds
 
 
 class Proteus(RangeFilter):
     """The self-designing range filter (trie layer + Bloom layer)."""
+
+    #: The trie-layer implementations ``trie_impl`` can name: the sorted
+    #: prefix array (query engine, modelled footprint) or the physical
+    #: succinct FST (measured footprint, same answers).
+    TRIE_IMPLS = {"sorted": SortedPrefixIndex, "fst": FSTPrefixIndex}
 
     def __init__(
         self,
@@ -54,6 +65,7 @@ class Proteus(RangeFilter):
         design: FilterDesign,
         max_probes: int = DEFAULT_MAX_PROBES,
         seed: int = 0,
+        trie_impl: str = "sorted",
     ):
         if design.bloom_prefix_len and design.trie_depth >= design.bloom_prefix_len:
             raise ValueError(
@@ -62,15 +74,21 @@ class Proteus(RangeFilter):
             )
         if max_probes < 1:
             raise ValueError("max_probes must be at least 1")
+        if trie_impl not in self.TRIE_IMPLS:
+            raise ValueError(
+                f"unknown trie_impl {trie_impl!r}; "
+                f"choose from {sorted(self.TRIE_IMPLS)}"
+            )
         self.width = width
         self.design = design
         self.max_probes = max_probes
+        self.trie_impl = trie_impl
         distinct_keys = sorted_distinct_keys(keys, width)
         self.num_keys = len(distinct_keys)
         l1, l2 = design.trie_depth, design.bloom_prefix_len
-        self._trie: SortedPrefixIndex | None = None
+        self._trie: SortedPrefixIndex | FSTPrefixIndex | None = None
         if l1 > 0:
-            self._trie = SortedPrefixIndex.from_keys(distinct_keys, l1, width)
+            self._trie = self.TRIE_IMPLS[trie_impl].from_keys(distinct_keys, l1, width)
         self._bloom: BloomFilter | None = None
         if l2 > 0:
             prefixes = distinct_prefixes(distinct_keys, l2, width)
@@ -93,7 +111,7 @@ class Proteus(RangeFilter):
             raise ValueError(
                 "the self-designing 'proteus' family needs a workload (query sample)"
             )
-        params = check_spec_params(spec, ("max_probes", "seed"))
+        params = check_spec_params(spec, ("max_probes", "seed", "trie_impl"))
         max_probes = int(params.get("max_probes", DEFAULT_MAX_PROBES))
         key_set, total_bits = resolve_spec_inputs(spec, keys, workload)
         model = CPFPRModel(key_set, key_set.width, workload.queries, max_probes)
@@ -101,6 +119,7 @@ class Proteus(RangeFilter):
         instance = cls(
             key_set.keys, key_set.width, design,
             max_probes=max_probes, seed=int(params.get("seed", 0)),
+            trie_impl=str(params.get("trie_impl", "sorted")),
         )
         instance.key_space = workload.key_space
         return instance
@@ -231,6 +250,16 @@ class Proteus(RangeFilter):
                 hits &= trie.contains_many(flat >> np.int64(l2 - l1))
             out[todo] = np.logical_or.reduceat(hits, seg_starts)
         return out
+
+    def trie_layer_measured_bits(self) -> int | None:
+        """Return the trie layer's own ``size_in_bits`` (None without a trie).
+
+        For ``trie_impl="fst"`` this is the measured LOUDS-DS footprint of
+        the realised byte-granular trie; for the sorted-array engine it is
+        the raw array bits.  Distinct from ``design.trie_bits``, the
+        bit-granular modelled cost the budget charged.
+        """
+        return self._trie.size_in_bits() if self._trie is not None else None
 
     def size_in_bits(self) -> int:
         """Modelled trie footprint + actual Bloom bits (paper accounting)."""

@@ -11,15 +11,26 @@
   through the per-SST-filtered LSM tree and reports block-read savings
   versus the no-filter and whole-key-Bloom baselines
   (``python -m repro.evaluation.lsm_bench``).
+* :mod:`repro.evaluation.size_check` audits the physical succinct tries:
+  measured LOUDS-DS footprints vs the size model's predictions, zero
+  false negatives and succinct-vs-reference answer parity across every
+  seeded workload family (``python -m repro.evaluation.size_check``).
 """
 
-__all__ = ["run_benchmarks", "run_sweep", "check_monotone", "run_lsm_bench"]
+__all__ = [
+    "run_benchmarks",
+    "run_sweep",
+    "check_monotone",
+    "run_lsm_bench",
+    "run_size_check",
+]
 
 _LAZY = {
     "run_benchmarks": "repro.evaluation.bench",
     "run_sweep": "repro.evaluation.sweep",
     "check_monotone": "repro.evaluation.sweep",
     "run_lsm_bench": "repro.evaluation.lsm_bench",
+    "run_size_check": "repro.evaluation.size_check",
 }
 
 

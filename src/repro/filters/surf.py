@@ -8,12 +8,22 @@ stored prefix covers its key's full subtree, false negatives are impossible;
 false positives arise whenever a query hits a pruned subtree that contains
 no key.
 
-This implementation keeps the pruned trie in a pointer-based
-:class:`~repro.trie.node_trie.ByteTrie` (byte-granular depths: the
-distinguishing prefix lengths are rounded up to whole bytes) and reports the
-footprint its LOUDS-DS encoding *would* have via
-:func:`repro.trie.size_model.fst_size_estimate`, matching the paper's size
-accounting.
+The pruned prefix set is computed vectorised for word-sized key spaces
+(numpy LCPs + per-depth prefix dedup feeding
+:meth:`~repro.trie.node_trie.ByteTrie.from_sorted_prefix_free`; bit-identity
+to the scalar path is pinned in ``tests/test_batch_parity.py``) and the trie
+is stored one of two ways:
+
+* ``physical=False`` (default): a pointer-based
+  :class:`~repro.trie.node_trie.ByteTrie`, with the footprint its LOUDS-DS
+  encoding *would* have reported via
+  :func:`repro.trie.size_model.fst_size_estimate` — the paper's size
+  accounting, as a model.
+* ``physical=True``: the trie is additionally encoded as a
+  :class:`~repro.trie.fst.FastSuccinctTrie` (LOUDS-Dense top + LOUDS-Sparse
+  bottom at the footprint-minimising cutoff); queries — scalar and batched —
+  run on the succinct structure and ``size_in_bits()`` /
+  ``size_breakdown()`` report the *measured* bits actually stored.
 
 ``max_depth`` caps the trie depth in bytes — the knob the paper turns to
 trade SuRF's memory against its FPR.  Prefixes truncated by the cap may
@@ -25,6 +35,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
+import numpy as np
+
 from repro.filters.base import (
     RangeFilter,
     check_spec_params,
@@ -32,9 +44,15 @@ from repro.filters.base import (
     resolve_spec_inputs,
 )
 from repro.keys.keyspace import sorted_distinct_keys
-from repro.keys.lcp import min_distinguishing_prefix_lengths
+from repro.keys.lcp import (
+    MAX_VECTOR_WIDTH,
+    min_distinguishing_prefix_lengths,
+    min_distinguishing_prefix_lengths_array,
+)
+from repro.trie.fst import FastSuccinctTrie
 from repro.trie.node_trie import ByteTrie
 from repro.trie.size_model import fst_size_estimate
+from repro.workloads.batch import EncodedKeySet, as_key_array, coerce_query_batch
 
 
 class SuRF(RangeFilter):
@@ -45,6 +63,8 @@ class SuRF(RangeFilter):
         keys: Iterable[int],
         width: int,
         max_depth: int | None = None,
+        physical: bool = False,
+        vectorize: bool = True,
     ):
         if width <= 0:
             raise ValueError("key width must be positive")
@@ -55,7 +75,23 @@ class SuRF(RangeFilter):
         if not 1 <= max_depth <= num_bytes:
             raise ValueError(f"trie depth {max_depth} outside [1, {num_bytes}]")
         self.max_depth = max_depth
-        sorted_keys = sorted_distinct_keys(keys, width)
+        self.physical = physical
+        if vectorize and width <= MAX_VECTOR_WIDTH:
+            self._trie = self._build_trie_vector(keys, width, max_depth, num_bytes)
+        else:
+            self._trie = self._build_trie_scalar(keys, width, max_depth, num_bytes)
+        self._fst: FastSuccinctTrie | None = (
+            FastSuccinctTrie.from_byte_trie(self._trie) if physical else None
+        )
+
+    def _build_trie_scalar(
+        self, keys, width: int, max_depth: int, num_bytes: int
+    ) -> ByteTrie:
+        """Build the pruned trie with the scalar reference loop."""
+        if isinstance(keys, EncodedKeySet):
+            sorted_keys = keys.as_list()
+        else:
+            sorted_keys = sorted_distinct_keys(keys, width)
         self.num_keys = len(sorted_keys)
         bit_lengths = min_distinguishing_prefix_lengths(sorted_keys, width)
         # Keys are MSB-padded to whole bytes (key_to_bytes), so a prefix of
@@ -67,31 +103,73 @@ class SuRF(RangeFilter):
         for key, bits in zip(sorted_keys, bit_lengths):
             depth = min(max_depth, (pad_bits + bits + 7) // 8)
             prefixes.add(key_to_bytes(key, width)[: max(1, depth)])
-        self._trie = ByteTrie(prefixes)
+        return ByteTrie(prefixes)
+
+    def _build_trie_vector(
+        self, keys, width: int, max_depth: int, num_bytes: int
+    ) -> ByteTrie:
+        """Build the same pruned trie on the numpy bulk path.
+
+        LCPs, distinguishing lengths and byte depths come from vectorised
+        array arithmetic; per depth, the distinct prefix *integers* are
+        deduplicated before any bytes object is materialised; and the
+        sorted prefix list feeds :meth:`ByteTrie.from_sorted_prefix_free`.
+        Capped-depth collisions dedup to equal strings and a natural
+        (uncapped) distinguishing prefix is never a prefix of another
+        key's, so the merged set is prefix-free up to the covering rule the
+        bulk builder applies — the result is structurally identical to the
+        scalar path's trie.
+        """
+        if isinstance(keys, EncodedKeySet) and keys.is_vector:
+            arr = keys.keys
+        elif isinstance(keys, np.ndarray) and keys.dtype.kind in "iu":
+            arr = np.unique(keys.astype(np.int64, copy=False))
+            if arr.size and not 0 <= int(arr[0]) <= int(arr[-1]) < (1 << width):
+                raise ValueError(f"key outside the {width}-bit key space")
+        else:
+            arr = np.array(sorted_distinct_keys(keys, width), dtype=np.int64)
+        self.num_keys = int(arr.size)
+        bit_lengths = min_distinguishing_prefix_lengths_array(arr, width)
+        pad_bits = 8 * num_bytes - width
+        depths = np.maximum(
+            1, np.minimum(max_depth, (pad_bits + bit_lengths + 7) // 8)
+        )
+        prefixes: list[bytes] = []
+        for depth in np.unique(depths).tolist():
+            shift = np.int64(8 * (num_bytes - depth))
+            for value in np.unique(arr[depths == depth] >> shift).tolist():
+                prefixes.append(int(value).to_bytes(depth, "big"))
+        prefixes.sort()
+        return ByteTrie.from_sorted_prefix_free(prefixes)
 
     @classmethod
     def from_spec(cls, spec, keys=None, workload=None) -> "SuRF":
         """Registry protocol: derive the trie depth from the bit budget.
 
         ``max_depth`` is the knob the paper turns to trade SuRF's memory for
-        FPR; here it is chosen as the *deepest* depth whose modelled
-        LOUDS-DS footprint fits ``bits_per_key * num_keys``.  Trie size is
-        non-decreasing in the depth, so the search builds shallow-to-deep
-        and stops at the first depth over budget, keeping the previous fit
-        — the cheap tries are built first and the expensive ones only when
-        the budget admits them.  When even the one-byte trie exceeds the
-        budget it is returned anyway — ``size_in_bits()`` stays the
-        authoritative footprint, as with Rosetta's per-level floors.  An
-        explicit ``max_depth`` parameter overrides the search.
+        FPR; here it is chosen as the *deepest* depth whose footprint fits
+        ``bits_per_key * num_keys``.  Trie size is non-decreasing in the
+        depth, so the search builds shallow-to-deep and stops at the first
+        depth over budget, keeping the previous fit — the cheap tries are
+        built first and the expensive ones only when the budget admits them.
+        When even the one-byte trie exceeds the budget it is returned anyway
+        — ``size_in_bits()`` stays the authoritative footprint, as with
+        Rosetta's per-level floors.  An explicit ``max_depth`` parameter
+        overrides the search.  ``physical: true`` selects the succinct
+        LOUDS-DS storage, in which case the budget search compares
+        *measured* sizes.
         """
-        params = check_spec_params(spec, ("max_depth",))
+        params = check_spec_params(spec, ("max_depth", "physical"))
+        physical = bool(params.get("physical", False))
         key_set, total_bits = resolve_spec_inputs(spec, keys, workload)
         if "max_depth" in params:
-            return cls(key_set.keys, key_set.width, int(params["max_depth"]))
+            return cls(
+                key_set, key_set.width, int(params["max_depth"]), physical=physical
+            )
         num_bytes = (key_set.width + 7) // 8
         best = None
         for depth in range(1, num_bytes + 1):
-            candidate = cls(key_set.keys, key_set.width, depth)
+            candidate = cls(key_set, key_set.width, depth, physical=physical)
             if best is not None and candidate.size_in_bits() > total_bits:
                 break
             best = candidate
@@ -105,14 +183,41 @@ class SuRF(RangeFilter):
     def may_contain(self, key: int) -> bool:
         if self.num_keys == 0:
             return False
-        return self._trie.match_prefix_of(key_to_bytes(key, self.width)) is not None
+        encoded = key_to_bytes(key, self.width)
+        if self._fst is not None:
+            return self._fst.match_prefix_of(encoded)
+        return self._trie.match_prefix_of(encoded) is not None
 
     def may_intersect(self, lo: int, hi: int) -> bool:
         self._check_range(lo, hi)
         if self.num_keys == 0:
             return False
-        return self._trie.range_overlaps(
-            key_to_bytes(lo, self.width), key_to_bytes(hi, self.width)
+        lo_bytes = key_to_bytes(lo, self.width)
+        hi_bytes = key_to_bytes(hi, self.width)
+        if self._fst is not None:
+            return self._fst.range_overlaps(lo_bytes, hi_bytes)
+        return self._trie.range_overlaps(lo_bytes, hi_bytes)
+
+    def may_contain_many(self, keys) -> np.ndarray:
+        """Batched point probes; LOUDS rank-arithmetic when ``physical``."""
+        if self._fst is None or self.width > MAX_VECTOR_WIDTH:
+            return super().may_contain_many(keys)
+        arr = as_key_array(keys)
+        if arr.dtype == object:
+            return super().may_contain_many(arr)
+        if self.num_keys == 0:
+            return np.zeros(arr.size, dtype=bool)
+        return self._fst.may_contain_many(arr, (self.width + 7) // 8)
+
+    def may_intersect_many(self, queries) -> np.ndarray:
+        """Batched range probes; LOUDS rank-arithmetic when ``physical``."""
+        batch = coerce_query_batch(queries, self.width)
+        if self._fst is None or not batch.is_vector:
+            return super().may_intersect_many(batch)
+        if self.num_keys == 0:
+            return np.zeros(len(batch), dtype=bool)
+        return self._fst.may_intersect_many(
+            batch.los, batch.his, (self.width + 7) // 8
         )
 
     def trie_height(self) -> int:
@@ -120,12 +225,30 @@ class SuRF(RangeFilter):
         return self._trie.height
 
     def size_in_bits(self) -> int:
-        """Modelled LOUDS-DS footprint of the pruned trie (paper convention)."""
+        """Return the LOUDS-DS footprint of the pruned trie.
+
+        *Measured* from the stored bitmaps and arrays when ``physical``;
+        otherwise the size model's estimate (the paper's convention for the
+        structures it does not materialise).
+        """
+        if self._fst is not None:
+            return self._fst.size_in_bits()
+        return self.modelled_size_in_bits()
+
+    def modelled_size_in_bits(self) -> int:
+        """Return the size model's LOUDS-DS estimate, physical or not."""
         edges, internal_nodes = self._trie.level_counts()
         return fst_size_estimate(edges, internal_nodes)
+
+    def size_breakdown(self) -> dict[str, int]:
+        """Return per-component charged bits (measured halves when physical)."""
+        if self._fst is not None:
+            return self._fst.size_breakdown()
+        return {"total": self.size_in_bits()}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SuRF(keys={self.num_keys}, width={self.width}, "
-            f"max_depth={self.max_depth}, height={self._trie.height})"
+            f"max_depth={self.max_depth}, height={self._trie.height}, "
+            f"physical={self.physical})"
         )

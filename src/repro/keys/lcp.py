@@ -171,6 +171,26 @@ def unique_prefix_counts_array(sorted_keys: np.ndarray, width: int) -> np.ndarra
     return counts
 
 
+def min_distinguishing_prefix_lengths_array(
+    sorted_keys: np.ndarray, width: int
+) -> np.ndarray:
+    """Vectorised :func:`min_distinguishing_prefix_lengths` over an int64 array.
+
+    Same contract: ``sorted_keys`` must be sorted (duplicates tolerated);
+    the result is bit-exact against the scalar reference, which the parity
+    suite pins.
+    """
+    n = int(sorted_keys.size)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if n == 1:
+        return np.ones(1, dtype=np.int64)
+    lcps = lcp_bits_many(sorted_keys[:-1], sorted_keys[1:], width)
+    left = np.concatenate(([-1], lcps))
+    right = np.concatenate((lcps, [-1]))
+    return np.minimum(width, np.maximum(left, right) + 1)
+
+
 def query_set_lcp_many(
     sorted_keys: np.ndarray, los: np.ndarray, his: np.ndarray, width: int
 ) -> np.ndarray:

@@ -7,22 +7,27 @@ LOUDS-Sparse.  Proteus reuses the same machinery for its uniform-depth trie.
 The package provides:
 
 * :class:`~repro.trie.bitvector.RankSelectBitVector` — plain bit vector with
-  O(1) rank and O(log n) select.
+  O(1) rank (scalar and batched) and O(log n) select.
 * :class:`~repro.trie.node_trie.ByteTrie` — a pointer-based byte trie used as
   the builder input and as a correctness oracle in tests.
-* :class:`~repro.trie.sorted_index.SortedPrefixIndex` — a sorted-array query
-  engine for uniform-depth prefix sets; Proteus' trie layer.  The succinct
-  layouts are *modelled* (for size accounting), not materialised, in this
-  Python reproduction.
-* :mod:`~repro.trie.size_model` — the ``trieMem(l)`` estimator from
-  Algorithm 1 of the paper plus SuRF's LOUDS-DS size formulas.
-* :class:`~repro.trie.louds_sparse.LoudsSparseTrie`,
-  :class:`~repro.trie.louds_dense.LoudsDenseTrie` and
+* :class:`~repro.trie.louds_dense.LoudsDenseTrie`,
+  :class:`~repro.trie.louds_sparse.LoudsSparseTrie` and
   :class:`~repro.trie.fst.FastSuccinctTrie` — the physical succinct
-  encodings; not yet implemented.
+  encodings, navigated purely by rank arithmetic, with measured
+  ``size_in_bits``; ``SuRF(..., physical=True)`` stores its pruned trie
+  this way.
+* :class:`~repro.trie.sorted_index.SortedPrefixIndex` — a sorted-array query
+  engine for uniform-depth prefix sets, Proteus' default trie layer — and
+  :class:`~repro.trie.fst.FSTPrefixIndex`, its succinct drop-in
+  replacement.
+* :mod:`~repro.trie.size_model` — the ``trieMem(l)`` estimator from
+  Algorithm 1 of the paper plus SuRF's LOUDS-DS size formulas, against
+  which the physical encoders' measured sizes are pinned
+  (:mod:`repro.evaluation.size_check`).
 
 Re-exports resolve lazily (PEP 562): importing :mod:`repro.trie` never fails
-because one encoder is missing; only touching that encoder's name raises.
+because one submodule is missing; only touching that submodule's names
+raises.
 """
 
 from importlib import import_module
@@ -32,23 +37,21 @@ _LAZY_EXPORTS = {
     "ByteTrie": "repro.trie.node_trie",
     "SortedPrefixIndex": "repro.trie.sorted_index",
     "fst_size_estimate": "repro.trie.size_model",
+    "fst_prefix_cutoff": "repro.trie.size_model",
     "binary_trie_size_estimate": "repro.trie.size_model",
     "louds_dense_level_bits": "repro.trie.size_model",
     "louds_sparse_level_bits": "repro.trie.size_model",
-    # Physical succinct encodings: planned, not yet implemented.  Reserved
-    # here so attribute access raises a descriptive ImportError, but kept
-    # out of __all__ so `from repro.trie import *` only pulls working names.
     "LoudsSparseTrie": "repro.trie.louds_sparse",
     "LoudsDenseTrie": "repro.trie.louds_dense",
     "FastSuccinctTrie": "repro.trie.fst",
+    "FSTPrefixIndex": "repro.trie.fst",
 }
 
-_PLANNED = {"LoudsSparseTrie", "LoudsDenseTrie", "FastSuccinctTrie"}
-
-__all__ = [name for name in _LAZY_EXPORTS if name not in _PLANNED]
+__all__ = list(_LAZY_EXPORTS)
 
 
 def __getattr__(name: str):
+    """Resolve a lazy re-export (PEP 562)."""
     try:
         module_name = _LAZY_EXPORTS[name]
     except KeyError:
@@ -57,7 +60,7 @@ def __getattr__(name: str):
         module = import_module(module_name)
     except ModuleNotFoundError as exc:
         raise ImportError(
-            f"{name!r} requires {module_name!r}, which is not implemented yet"
+            f"{name!r} requires {module_name!r}, which is missing or incomplete"
         ) from exc
     value = getattr(module, name)
     globals()[name] = value  # cache so __getattr__ runs once per name
@@ -65,4 +68,5 @@ def __getattr__(name: str):
 
 
 def __dir__() -> list[str]:
+    """Expose the lazy exports to ``dir()``."""
     return sorted(set(globals()) | set(__all__))

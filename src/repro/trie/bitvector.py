@@ -22,9 +22,17 @@ _POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uin
 
 
 class RankSelectBitVector:
-    """An immutable bit vector supporting rank and select queries."""
+    """An immutable bit vector supporting rank and select queries.
+
+    Layout invariants: bit ``i`` lives in byte ``i >> 3`` at MSB-first
+    position ``i & 7`` (the :class:`~repro.amq.bitarray.BitArray`
+    convention), and ``_byte_cumulative[b]`` holds the popcount of bytes
+    ``[0, b)`` — so ``rank1(i)`` is one directory lookup plus a partial-byte
+    popcount, for scalar and batched callers alike.
+    """
 
     def __init__(self, bits: Sequence[bool] | BitArray):
+        """Wrap ``bits`` (a :class:`BitArray` is adopted, not copied)."""
         if isinstance(bits, BitArray):
             self._bits = bits
         else:
@@ -34,6 +42,7 @@ class RankSelectBitVector:
 
     def _build_rank_directory(self) -> None:
         byte_buffer = np.frombuffer(self._bits.to_bytes(), dtype=np.uint8)
+        self._byte_buffer = byte_buffer
         byte_popcounts = _POPCOUNT_TABLE[byte_buffer]
         self._byte_cumulative = np.concatenate(
             ([0], np.cumsum(byte_popcounts, dtype=np.int64))
@@ -41,13 +50,23 @@ class RankSelectBitVector:
         self._total_ones = int(self._byte_cumulative[-1])
 
     def __len__(self) -> int:
+        """Return the number of bits in the vector."""
         return self.num_bits
 
     def get(self, index: int) -> bool:
         """Return the bit at ``index``."""
         return self._bits.get(index)
 
+    def get_many(self, indices) -> np.ndarray:
+        """Return a boolean array with the bit value at every index.
+
+        Vectorised :meth:`get`: accepts any integer iterable or numpy array;
+        every index must be in ``[0, num_bits)``.
+        """
+        return self._bits.get_many(indices)
+
     def __getitem__(self, index: int) -> bool:
+        """Return the bit at ``index`` (sequence protocol)."""
         return self.get(index)
 
     def rank1(self, index: int) -> int:
@@ -66,6 +85,31 @@ class RankSelectBitVector:
         """Return the number of zero bits in positions ``[0, index)``."""
         index = max(0, min(index, self.num_bits))
         return index - self.rank1(index)
+
+    def rank1_many(self, indices) -> np.ndarray:
+        """Return ``rank1`` at every index, vectorised.
+
+        Bit-exact restatement of :meth:`rank1` (indices are clipped to
+        ``[0, num_bits]`` the same way): one gather into the cumulative
+        byte directory plus a masked-partial-byte popcount per index — the
+        primitive the batched LOUDS traversals are built on.
+        """
+        idx = np.clip(
+            np.asarray(indices, dtype=np.int64).ravel(), 0, self.num_bits
+        )
+        full_bytes = idx >> 3
+        partial = idx & 7
+        counts = self._byte_cumulative[full_bytes]
+        # The top `partial` bits of the boundary byte (MSB-first layout).
+        # A clipped index of num_bits on a byte-aligned vector has
+        # full_bytes == len(buffer); the mask is 0 there, so reading the
+        # clamped byte is safe.
+        buffer = self._byte_buffer
+        if buffer.size:
+            safe = np.minimum(full_bytes, buffer.size - 1)
+            masks = ((0xFF00 >> partial) & 0xFF).astype(np.uint8)
+            counts = counts + _POPCOUNT_TABLE[buffer[safe] & masks]
+        return counts.astype(np.int64)
 
     def select1(self, rank: int) -> int:
         """Return the position of the ``rank``-th set bit (1-indexed)."""
@@ -91,6 +135,10 @@ class RankSelectBitVector:
     def count_ones(self) -> int:
         """Return the total number of set bits."""
         return self._total_ones
+
+    def to_bytes(self) -> bytes:
+        """Serialise the payload bits (MSB-first per byte, no directory)."""
+        return self._bits.to_bytes()
 
     def size_in_bits(self) -> int:
         """Payload size in bits (excludes the rank directory, as in SuRF)."""

@@ -26,6 +26,7 @@ class ByteTrieNode:
     __slots__ = ("children", "is_leaf")
 
     def __init__(self):
+        """Create a childless non-leaf node."""
         self.children: dict[int, "ByteTrieNode"] = {}
         self.is_leaf = False
 
@@ -38,11 +39,48 @@ class ByteTrie:
     """A byte trie over a prefix-free set of byte strings."""
 
     def __init__(self, prefixes: Iterable[bytes] = ()):
+        """Build the trie by inserting ``prefixes`` (any order, pruned)."""
         self.root = ByteTrieNode()
         self.num_leaves = 0
         self.height = 0
         for prefix in sorted(set(bytes(p) for p in prefixes)):
             self._insert(prefix)
+
+    @classmethod
+    def from_sorted_prefix_free(cls, prefixes: Iterable[bytes]) -> "ByteTrie":
+        """Bulk-build from prefixes that are sorted and (nearly) prefix-free.
+
+        The streaming builder behind SuRF's vectorised construction: input
+        must be in ascending lexicographic order with no duplicates; a
+        string that extends an earlier (shorter) one is dropped, exactly as
+        :meth:`insert`'s covering rule would — in sorted order every
+        extension of ``p`` follows ``p`` before any string above ``p``'s
+        subtree, so comparing against the last *kept* leaf suffices.  The
+        result is structurally identical to ``ByteTrie(prefixes)`` at
+        O(total bytes) cost with no per-level dict walks.
+        """
+        trie = cls()
+        stack = [trie.root]  # stack[d] = node at depth d on the current path
+        previous = b""
+        for prefix in prefixes:
+            if not prefix:
+                raise ValueError("cannot insert an empty prefix")
+            if previous and prefix[: len(previous)] == previous:
+                continue  # covered by the previously kept (shorter) leaf
+            common = 0
+            limit = min(len(previous), len(prefix))
+            while common < limit and previous[common] == prefix[common]:
+                common += 1
+            del stack[common + 1 :]
+            for byte in prefix[common:]:
+                node = ByteTrieNode()
+                stack[-1].children[byte] = node
+                stack.append(node)
+            stack[-1].is_leaf = True
+            trie.num_leaves += 1
+            trie.height = max(trie.height, len(prefix))
+            previous = prefix
+        return trie
 
     def insert(self, prefix: bytes) -> None:
         """Insert ``prefix``, maintaining the prefix-free invariant.
@@ -107,12 +145,14 @@ class ByteTrie:
         return removed, max_depth
 
     def __len__(self) -> int:
+        """Return the number of stored prefixes (leaves)."""
         return self.num_leaves
 
     def leaves(self) -> Iterator[bytes]:
         """Yield the stored prefixes in lexicographic order."""
 
         def walk(node: ByteTrieNode, path: bytearray) -> Iterator[bytes]:
+            """Yield the leaves below ``node`` in label order."""
             if node.is_leaf:
                 yield bytes(path)
                 return

@@ -69,6 +69,40 @@ def fst_size_estimate(
     return total
 
 
+def fst_prefix_cutoff(
+    edges_per_level: Sequence[int], nodes_per_level: Sequence[int]
+) -> tuple[int, int]:
+    """Choose the dense/sparse cutoff for a *physical* Fast Succinct Trie.
+
+    Unlike :func:`fst_size_estimate` — which takes the per-level minimum
+    independently and is therefore a lower bound — a realisable LOUDS-DS
+    layout must encode a contiguous *prefix* of levels dense and the rest
+    sparse (SuRF's D-/S- split).  This helper returns ``(cutoff,
+    total_bits)`` where ``cutoff`` is the number of top levels to encode
+    dense (0 means all-sparse) minimising the total footprint over all
+    prefix cutoffs, and ``total_bits`` is that minimal footprint.
+
+    ``fst_size_estimate(edges, nodes) <= total_bits`` always, with equality
+    exactly when the per-level winners already form a dense prefix — which
+    they do whenever node counts grow with depth, the common case.
+
+    >>> fst_prefix_cutoff([200, 120], [1, 100])
+    (1, 1712)
+    >>> fst_prefix_cutoff([], [1])
+    (0, 0)
+    """
+    num_levels = len(edges_per_level)
+    sparse_bits = [louds_sparse_level_bits(e) for e in edges_per_level]
+    dense_bits = [louds_dense_level_bits(nodes_per_level[i]) for i in range(num_levels)]
+    best_cutoff, best_total = 0, sum(sparse_bits)
+    total = best_total
+    for cutoff in range(1, num_levels + 1):
+        total += dense_bits[cutoff - 1] - sparse_bits[cutoff - 1]
+        if total < best_total:
+            best_cutoff, best_total = cutoff, total
+    return best_cutoff, best_total
+
+
 def binary_trie_size_estimate(prefix_counts: Sequence[int], depth: int) -> int:
     """Return ``trieMem(depth)`` for the bit-granular uniform-depth trie.
 

@@ -33,6 +33,7 @@ class SortedPrefixIndex:
     __slots__ = ("prefixes", "length", "width", "_arr")
 
     def __init__(self, prefixes: Iterable[int], length: int, width: int):
+        """Index ``length``-bit ``prefixes`` of a ``width``-bit key space."""
         if not 0 < length <= width:
             raise ValueError(f"prefix length {length} outside [1, {width}]")
         self.length = length
@@ -52,6 +53,7 @@ class SortedPrefixIndex:
         return cls((key >> shift for key in keys), length, width)
 
     def __len__(self) -> int:
+        """Return the number of stored prefixes."""
         return len(self.prefixes)
 
     def contains(self, prefix: int) -> bool:
@@ -137,6 +139,7 @@ class SortedPrefixIndex:
         return len(self.prefixes) * self.length
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Return a debugging summary."""
         return (
             f"SortedPrefixIndex(n={len(self.prefixes)}, length={self.length}, "
             f"width={self.width})"

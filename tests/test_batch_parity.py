@@ -51,6 +51,7 @@ FILTER_FACTORIES = {
         keys, WIDTH, prefix_len=16, num_bits=24_000
     ),
     "surf": lambda keys, queries: SuRF(keys, WIDTH),
+    "surf_physical": lambda keys, queries: SuRF(keys, WIDTH, physical=True),
     "rosetta": lambda keys, queries: Rosetta(
         keys, WIDTH, total_bits=32_000, num_levels=16
     ),
@@ -160,6 +161,40 @@ def test_wide_key_space_falls_back_to_scalar_loop():
         filt.may_intersect(lo, hi) for lo, hi in queries
     ]
     assert list(filt.may_contain_many(keys)) == [filt.may_contain(k) for k in keys]
+
+
+def test_surf_vectorised_build_is_bit_identical(workload):
+    # Satellite of the "batched build path" ROADMAP item: the numpy
+    # LCP/depth computation + from_sorted_prefix_free bulk insertion must
+    # produce structurally the same pruned trie as the scalar per-key loop,
+    # at every depth cap.
+    keys, queries, probes = workload
+    for max_depth in (None, 2, 3):
+        bulk = SuRF(keys, WIDTH, max_depth)
+        scalar = SuRF(keys, WIDTH, max_depth, vectorize=False)
+        assert list(bulk._trie.leaves()) == list(scalar._trie.leaves()), max_depth
+        assert bulk._trie.level_counts() == scalar._trie.level_counts(), max_depth
+        assert bulk._trie.height == scalar._trie.height
+        assert bulk.num_keys == scalar.num_keys
+        assert bulk.size_in_bits() == scalar.size_in_bits(), max_depth
+    # Physical mode encodes the same trie: identical succinct payloads
+    # whichever build path produced the ByteTrie.
+    bulk_fst = SuRF(keys, WIDTH, physical=True)._fst
+    scalar_fst = SuRF(keys, WIDTH, physical=True, vectorize=False)._fst
+    assert bulk_fst.size_breakdown() == scalar_fst.size_breakdown()
+    if bulk_fst._sparse is not None:
+        assert bulk_fst._sparse.to_bytes() == scalar_fst._sparse.to_bytes()
+    if bulk_fst._dense is not None:
+        assert bulk_fst._dense.to_bytes() == scalar_fst._dense.to_bytes()
+
+
+def test_surf_non_byte_width_vectorised_build_matches_scalar():
+    # The MSB-pad arithmetic lives in both build paths; a 9-bit width (7
+    # pad bits) is where they would drift first.
+    keys = [0, 64, 65, 300]
+    bulk = SuRF(keys, width=9)
+    scalar = SuRF(keys, width=9, vectorize=False)
+    assert list(bulk._trie.leaves()) == list(scalar._trie.leaves())
 
 
 def test_rosetta_vectorised_build_is_bit_identical(workload):

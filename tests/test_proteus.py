@@ -28,17 +28,19 @@ class TestLazyPackage:
         with pytest.raises(AttributeError):
             repro.definitely_not_an_export
 
-    def test_missing_trie_encoder_fails_at_access_not_import(self):
-        import repro.trie  # must not raise despite missing encoder modules
+    def test_trie_encoders_resolve_lazily(self):
+        import repro.trie  # resolves lazily; the encoders are physical now
 
-        with pytest.raises(ImportError, match="not implemented"):
-            repro.trie.FastSuccinctTrie
-        # Star-import only pulls the working names (planned encoders are
-        # reserved in the lazy table but excluded from __all__).
+        from repro.trie.fst import FastSuccinctTrie
+
+        assert repro.trie.FastSuccinctTrie is FastSuccinctTrie
+        # Star-import pulls every encoder alongside the original names.
         namespace: dict = {}
         exec("from repro.trie import *", namespace)
         assert "ByteTrie" in namespace
-        assert "FastSuccinctTrie" not in namespace
+        assert "FastSuccinctTrie" in namespace
+        assert "LoudsDenseTrie" in namespace
+        assert "LoudsSparseTrie" in namespace
 
 
 class TestBuildAcceptance:
