@@ -39,6 +39,12 @@ The package is organised as a set of small, focused subpackages:
     that regenerates the paper's core figure family, and the LSM end-to-end
     driver (``python -m repro.evaluation.lsm_bench``) that reproduces the
     Fig. 9-style I/O comparison.
+``repro.obs``
+    Dependency-free observability: the ``MetricsRegistry`` of counters /
+    gauges / histograms threaded through builds and probes (``metrics=``),
+    the ``ProbeTrace`` per-(query, SST) event recorder that reconciles
+    exactly against ``ProbeResult``, and the ``DriftMonitor`` comparing
+    observed per-batch FPR against the frozen CPFPR prediction.
 
 The most common entry points are re-exported here.  Re-exports resolve
 lazily (PEP 562): a missing or broken subpackage surfaces as an error when
@@ -78,11 +84,14 @@ _LAZY_EXPORTS = {
     "SSTable": "repro.lsm",
     "CostModel": "repro.lsm",
     "ProbeResult": "repro.lsm",
+    "MetricsRegistry": "repro.obs",
+    "DriftMonitor": "repro.obs",
+    "ProbeTrace": "repro.obs",
 }
 
 __all__ = list(_LAZY_EXPORTS)
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 
 def __getattr__(name: str):

@@ -21,11 +21,13 @@ level (the legacy ``build`` shims import it lazily inside the call).
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.api.spec import FilterSpec
 from repro.api.workload import Workload
+from repro.obs.metrics import MetricsRegistry
 from repro.core.prf import OnePBF, TwoPBF
 from repro.core.proteus import Proteus
 from repro.filters.base import RangeFilter, TrieOracle
@@ -49,16 +51,24 @@ class FilterFamily:
     ``requires_workload`` marks self-designing families (their query sample
     is a build *input*, not a hint); ``budget_free`` marks families whose
     footprint ignores ``bits_per_key`` (the exact oracle) — consumers that
-    sweep budgets skip those.
+    sweep budgets skip those.  ``accepts_metrics`` is detected from the
+    ``from_spec`` signature at registration: families that take a
+    ``metrics=`` keyword receive the registry ``build_filter`` was given,
+    others are built untouched (third-party families opt in by adding the
+    parameter).
     """
 
     name: str
     cls: type
     requires_workload: bool = False
     budget_free: bool = False
+    accepts_metrics: bool = False
 
 
 _FAMILIES: dict[str, FilterFamily] = {}
+
+#: Histogram buckets for built filters' actual bits-per-key (upper bounds).
+BITS_PER_KEY_BUCKETS = (2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0, 64.0)
 
 
 def register_family(
@@ -76,12 +86,16 @@ def register_family(
                 f"filter family {name!r} is already registered "
                 f"(to {_FAMILIES[name].cls.__name__})"
             )
-        if not callable(getattr(cls, "from_spec", None)):
+        builder = getattr(cls, "from_spec", None)
+        if not callable(builder):
             raise TypeError(
                 f"{cls.__name__} does not implement the build protocol "
                 f"classmethod from_spec(spec, keys, workload)"
             )
-        _FAMILIES[name] = FilterFamily(name, cls, requires_workload, budget_free)
+        accepts_metrics = "metrics" in inspect.signature(builder).parameters
+        _FAMILIES[name] = FilterFamily(
+            name, cls, requires_workload, budget_free, accepts_metrics
+        )
         return cls
 
     return decorate
@@ -104,13 +118,21 @@ def family(name: str) -> FilterFamily:
 
 
 def build_filter(
-    spec: FilterSpec, keys=None, workload: Workload | None = None
+    spec: FilterSpec,
+    keys=None,
+    workload: Workload | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> RangeFilter:
     """Build ``spec.family`` over ``keys``/``workload`` at ``spec.bits_per_key``.
 
     The uniform construction entry point: dispatches through the registry
     to the family's ``from_spec``, after checking that self-designing
     families actually received the workload sample they optimise against.
+    ``metrics`` optionally instruments the build: total/per-family build
+    counts and timings plus the built filter's charged size, and — for
+    families whose ``from_spec`` accepts it — the inner model/design-search
+    phases too.  ``metrics=None`` (the default) is the uninstrumented path:
+    one ``is None`` check, nothing else.
     """
     entry = family(spec.family)
     if entry.requires_workload and workload is None:
@@ -118,7 +140,20 @@ def build_filter(
             f"filter family {spec.family!r} is self-designing and needs a "
             f"workload (query sample) to optimise against"
         )
-    return entry.cls.from_spec(spec, keys, workload)
+    if metrics is None:
+        return entry.cls.from_spec(spec, keys, workload)
+    with metrics.timer("build.seconds"):
+        if entry.accepts_metrics:
+            filt = entry.cls.from_spec(spec, keys, workload, metrics=metrics)
+        else:
+            filt = entry.cls.from_spec(spec, keys, workload)
+    metrics.inc("build.filters")
+    metrics.inc(f"build.{spec.family}.filters")
+    metrics.inc("build.size_bits", filt.size_in_bits())
+    metrics.observe(
+        "build.bits_per_key", filt.bits_per_key(), buckets=BITS_PER_KEY_BUCKETS
+    )
+    return filt
 
 
 # --------------------------------------------------------------------- #

@@ -44,6 +44,7 @@ Execution model
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from time import perf_counter
 from typing import Iterable
 
 import numpy as np
@@ -69,7 +70,10 @@ class CPFPRModel:
     of inclusive ``(lo, hi)`` pairs or a
     :class:`~repro.workloads.batch.QueryBatch`.  ``vectorize=False`` forces
     the scalar reference paths even for word-sized key spaces (used by the
-    benchmark harness and the parity tests).
+    benchmark harness and the parity tests).  ``metrics`` optionally names
+    a :class:`~repro.obs.metrics.MetricsRegistry` that counts model
+    constructions and per-candidate design evaluations (one ``is not
+    None`` check per evaluation when disabled).
     """
 
     def __init__(
@@ -79,11 +83,14 @@ class CPFPRModel:
         queries: Iterable[tuple[int, int]] | QueryBatch,
         max_probes: int = DEFAULT_MAX_PROBES,
         vectorize: bool = True,
+        metrics=None,
     ):
         if width <= 0:
             raise ValueError("key width must be positive")
         if max_probes < 1:
             raise ValueError("max_probes must be at least 1")
+        self.metrics = metrics
+        setup_start = perf_counter() if metrics is not None else 0.0
         self.width = width
         self.max_probes = max_probes
         if isinstance(keys, EncodedKeySet):
@@ -136,6 +143,11 @@ class CPFPRModel:
                 self._lcp_at_least[length] = (
                     self._lcp_at_least[length + 1] + histogram_list[length]
                 )
+        if metrics is not None:
+            metrics.inc("cpfpr.models")
+            metrics.inc("cpfpr.sample_queries", self.num_queries)
+            metrics.inc("cpfpr.empty_queries", self.num_empty_queries)
+            metrics.observe("cpfpr.setup_seconds", perf_counter() - setup_start)
         self._prefix_cache: dict[int, list[int]] = {}
         # Per-layer masks the design sweep re-uses across candidates: the
         # trie gate depends only on l1, the slot interval and the certainty
@@ -203,6 +215,8 @@ class CPFPRModel:
         """
         l1, l2 = trie_depth, bloom_prefix_len
         self._validate_layers(l1, l2)
+        if self.metrics is not None:
+            self.metrics.inc("cpfpr.evaluations")
         if not self.num_empty_queries:
             return 0.0
         if self._vector:
@@ -358,6 +372,8 @@ class CPFPRModel:
         l1, l2 = first_prefix_len, second_prefix_len
         if not 0 < l1 < l2 <= self.width:
             raise ValueError(f"need 0 < l1 < l2 <= width, got ({l1}, {l2})")
+        if self.metrics is not None:
+            self.metrics.inc("cpfpr.evaluations")
         if not self.num_empty_queries:
             return 0.0
         if self._vector:

@@ -31,6 +31,7 @@ queries, and these prunes bound how many sweeps run.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.core.cpfpr import CPFPRModel
 from repro.trie.size_model import binary_trie_size_estimate
@@ -62,15 +63,46 @@ class FilterDesign:
         return self.trie_bits + self.bloom_bits
 
 
-def design_proteus(model: CPFPRModel, total_bits: int) -> FilterDesign:
-    """Run Algorithm 1 over the full trie + Bloom design space."""
+def _emit_design_metrics(
+    metrics,
+    kind: str,
+    best: FilterDesign,
+    candidates: int,
+    pruned: int,
+    start: float,
+) -> None:
+    """Record one Algorithm 1 search: counts, timing, and the winner's shape."""
+    metrics.inc("design.searches")
+    metrics.inc("design.candidates", candidates)
+    metrics.inc("design.pruned_dominated", pruned)
+    metrics.inc(f"design.{kind}.searches")
+    metrics.observe("design.seconds", perf_counter() - start)
+    metrics.set_gauge("design.last_expected_fpr", best.expected_fpr)
+    metrics.set_gauge("design.last_trie_depth", best.trie_depth)
+    metrics.set_gauge("design.last_bloom_prefix_len", best.bloom_prefix_len)
+    metrics.set_gauge("design.last_total_bits", best.total_bits())
+
+
+def design_proteus(
+    model: CPFPRModel, total_bits: int, metrics=None
+) -> FilterDesign:
+    """Run Algorithm 1 over the full trie + Bloom design space.
+
+    ``metrics`` optionally records the search: candidate evaluations,
+    dominance prunes, wall-clock seconds, and the winning design's shape.
+    """
     if total_bits <= 0:
         raise ValueError("the bit budget must be positive")
+    start = perf_counter() if metrics is not None else 0.0
     width = model.width
     if not model.num_empty_queries:
         # No empty sample query carries any signal; default to the finest
         # Bloom-only design, which maximises discrimination for point lookups.
-        return FilterDesign("proteus", 0, width, 0, total_bits, 0.0)
+        fallback = FilterDesign("proteus", 0, width, 0, total_bits, 0.0)
+        if metrics is not None:
+            _emit_design_metrics(metrics, "proteus", fallback, 0, 0, start)
+        return fallback
+    candidates = pruned = 0
     best: FilterDesign | None = None
     for trie_depth in range(width + 1):
         if best is not None and best.expected_fpr == 0.0:
@@ -81,6 +113,7 @@ def design_proteus(model: CPFPRModel, total_bits: int) -> FilterDesign:
         bloom_budget = total_bits - trie_bits
         # Trie-only candidate (l2 = 0): deterministic, certain_fp_fraction(l1).
         trie_only_fpr = model.certain_fp_fraction(trie_depth)
+        candidates += 1
         if best is None or trie_only_fpr < best.expected_fpr:
             best = FilterDesign(
                 "proteus", trie_depth, 0, trie_bits, 0, trie_only_fpr
@@ -91,41 +124,59 @@ def design_proteus(model: CPFPRModel, total_bits: int) -> FilterDesign:
             if best.expected_fpr == 0.0:
                 break
             if model.certain_fp_fraction(bloom_len) >= best.expected_fpr:
+                pruned += 1
                 continue  # dominated: the certain-FP floor alone is no better
+            candidates += 1
             fpr = model.proteus_fpr(trie_depth, bloom_len, bloom_budget)
             if fpr < best.expected_fpr:
                 best = FilterDesign(
                     "proteus", trie_depth, bloom_len, trie_bits, bloom_budget, fpr
                 )
     assert best is not None
+    if metrics is not None:
+        _emit_design_metrics(metrics, "proteus", best, candidates, pruned, start)
     return best
 
 
-def design_one_pbf(model: CPFPRModel, total_bits: int) -> FilterDesign:
+def design_one_pbf(
+    model: CPFPRModel, total_bits: int, metrics=None
+) -> FilterDesign:
     """Algorithm 1 restricted to single-Bloom-layer (1PBF) designs."""
     if total_bits <= 0:
         raise ValueError("the bit budget must be positive")
+    start = perf_counter() if metrics is not None else 0.0
     width = model.width
     if not model.num_empty_queries:
-        return FilterDesign("1pbf", 0, width, 0, total_bits, 0.0)
+        fallback = FilterDesign("1pbf", 0, width, 0, total_bits, 0.0)
+        if metrics is not None:
+            _emit_design_metrics(metrics, "1pbf", fallback, 0, 0, start)
+        return fallback
+    candidates = pruned = 0
     best: FilterDesign | None = None
     for bloom_len in range(1, width + 1):
         if best is not None and model.certain_fp_fraction(bloom_len) >= best.expected_fpr:
+            pruned += 1
             continue
+        candidates += 1
         fpr = model.one_pbf_fpr(bloom_len, total_bits)
         if best is None or fpr < best.expected_fpr:
             best = FilterDesign("1pbf", 0, bloom_len, 0, total_bits, fpr)
     assert best is not None
+    if metrics is not None:
+        _emit_design_metrics(metrics, "1pbf", best, candidates, pruned, start)
     return best
 
 
-def design_two_pbf(model: CPFPRModel, total_bits: int) -> FilterDesign:
+def design_two_pbf(
+    model: CPFPRModel, total_bits: int, metrics=None
+) -> FilterDesign:
     """Algorithm 1 restricted to two-Bloom-layer (2PBF) designs."""
     if total_bits <= 0:
         raise ValueError("the bit budget must be positive")
+    start = perf_counter() if metrics is not None else 0.0
     width = model.width
     if not model.num_empty_queries:
-        return FilterDesign(
+        fallback = FilterDesign(
             "2pbf",
             1,
             width,
@@ -133,6 +184,10 @@ def design_two_pbf(model: CPFPRModel, total_bits: int) -> FilterDesign:
             max(1, total_bits - total_bits // 2),
             0.0,
         )
+        if metrics is not None:
+            _emit_design_metrics(metrics, "2pbf", fallback, 0, 0, start)
+        return fallback
+    candidates = pruned = 0
     best: FilterDesign | None = None
     for first_len in range(1, width):
         for second_len in range(first_len + 1, width + 1):
@@ -140,12 +195,14 @@ def design_two_pbf(model: CPFPRModel, total_bits: int) -> FilterDesign:
                 best is not None
                 and model.certain_fp_fraction(second_len) >= best.expected_fpr
             ):
+                pruned += 1
                 continue
             for split in TWO_PBF_SPLITS:
                 first_bits = int(total_bits * split)
                 second_bits = total_bits - first_bits
                 if first_bits < MIN_BLOOM_BITS or second_bits < MIN_BLOOM_BITS:
                     continue
+                candidates += 1
                 fpr = model.two_pbf_fpr(first_len, second_len, first_bits, second_bits)
                 if best is None or fpr < best.expected_fpr:
                     best = FilterDesign(
@@ -153,11 +210,15 @@ def design_two_pbf(model: CPFPRModel, total_bits: int) -> FilterDesign:
                     )
     if best is None:
         # Budget too small for two layers: fall back to the finest 1PBF shape.
-        return design_one_pbf(model, total_bits)
+        return design_one_pbf(model, total_bits, metrics)
+    if metrics is not None:
+        _emit_design_metrics(metrics, "2pbf", best, candidates, pruned, start)
     return best
 
 
-def design_all(model: CPFPRModel, total_bits: int) -> dict[str, FilterDesign]:
+def design_all(
+    model: CPFPRModel, total_bits: int, metrics=None
+) -> dict[str, FilterDesign]:
     """Run Algorithm 1 once per design family under the same budget.
 
     Returns ``{"proteus": ..., "1pbf": ..., "2pbf": ...}`` — the benchmark
@@ -165,7 +226,7 @@ def design_all(model: CPFPRModel, total_bits: int) -> dict[str, FilterDesign]:
     designs on one workload without re-deriving the model.
     """
     return {
-        "proteus": design_proteus(model, total_bits),
-        "1pbf": design_one_pbf(model, total_bits),
-        "2pbf": design_two_pbf(model, total_bits),
+        "proteus": design_proteus(model, total_bits, metrics),
+        "1pbf": design_one_pbf(model, total_bits, metrics),
+        "2pbf": design_two_pbf(model, total_bits, metrics),
     }

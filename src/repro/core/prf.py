@@ -25,6 +25,7 @@ from repro.core.design import FilterDesign, design_one_pbf, design_two_pbf
 from repro.filters.base import RangeFilter, check_spec_params, resolve_spec_inputs
 from repro.filters.prefix_bloom import PrefixBloomFilter
 from repro.keys.keyspace import IntegerKeySpace, KeySpace, sorted_distinct_keys
+from repro.obs.metrics import timed
 from repro.workloads.batch import EncodedKeySet, QueryBatch, as_key_array, coerce_query_batch
 
 
@@ -97,7 +98,7 @@ class OnePBF(PrefixBloomFilter):
     design: FilterDesign | None = None
 
     @classmethod
-    def from_spec(cls, spec, keys=None, workload=None) -> "OnePBF":
+    def from_spec(cls, spec, keys=None, workload=None, metrics=None) -> "OnePBF":
         """Registry protocol: self-design the prefix length over the workload."""
         if workload is None:
             raise ValueError(
@@ -106,8 +107,12 @@ class OnePBF(PrefixBloomFilter):
         params = check_spec_params(spec, ("max_probes", "seed"))
         max_probes = int(params.get("max_probes", DEFAULT_MAX_PROBES))
         key_set, total_bits = resolve_spec_inputs(spec, keys, workload)
-        model = CPFPRModel(key_set, key_set.width, workload.queries, max_probes)
-        design = design_one_pbf(model, total_bits)
+        with timed(metrics, "build.model_seconds"):
+            model = CPFPRModel(
+                key_set, key_set.width, workload.queries, max_probes, metrics=metrics
+            )
+        with timed(metrics, "build.design_seconds"):
+            design = design_one_pbf(model, total_bits, metrics)
         instance = cls(
             key_set.keys,
             key_set.width,
@@ -187,7 +192,7 @@ class TwoPBF(RangeFilter):
         )
 
     @classmethod
-    def from_spec(cls, spec, keys=None, workload=None) -> "TwoPBF":
+    def from_spec(cls, spec, keys=None, workload=None, metrics=None) -> "TwoPBF":
         """Registry protocol: self-design both layers over the workload."""
         if workload is None:
             raise ValueError(
@@ -198,8 +203,12 @@ class TwoPBF(RangeFilter):
         key_set, total_bits = resolve_spec_inputs(spec, keys, workload)
         if key_set.width < 2:
             raise ValueError("a 2PBF needs a key space of at least 2 bits")
-        model = CPFPRModel(key_set, key_set.width, workload.queries, max_probes)
-        design = design_two_pbf(model, total_bits)
+        with timed(metrics, "build.model_seconds"):
+            model = CPFPRModel(
+                key_set, key_set.width, workload.queries, max_probes, metrics=metrics
+            )
+        with timed(metrics, "build.design_seconds"):
+            design = design_two_pbf(model, total_bits, metrics)
         if design.kind == "1pbf":
             # Budget admitted only one layer: widen it into a degenerate 2PBF
             # by splitting off a minimal coarse layer just above the root.

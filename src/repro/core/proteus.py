@@ -45,6 +45,7 @@ from repro.filters.base import (
 from repro.keys.keyspace import KeySpace, sorted_distinct_keys
 from repro.keys.lcp import MAX_VECTOR_WIDTH
 from repro.keys.prefix import distinct_prefixes
+from repro.obs.metrics import timed
 from repro.trie.fst import FSTPrefixIndex
 from repro.trie.sorted_index import SortedPrefixIndex
 from repro.workloads.batch import as_key_array, coerce_query_batch, slot_bounds
@@ -98,14 +99,16 @@ class Proteus(RangeFilter):
             self._bloom.add_many(prefixes)
 
     @classmethod
-    def from_spec(cls, spec, keys=None, workload=None) -> "Proteus":
+    def from_spec(cls, spec, keys=None, workload=None, metrics=None) -> "Proteus":
         """Registry protocol: CPFPR model → Algorithm 1 → instantiate the winner.
 
         A self-designing family: the workload's query sample *is* the input
         Algorithm 1 optimises against, so ``workload`` is required.  ``keys``
         defaults to the workload's key set; passing a subset (an LSM
         per-SST slice, say) designs against the shared sample but builds
-        over just those keys.
+        over just those keys.  ``metrics`` optionally records the build's
+        phases (model derivation, design search, instantiation) and the
+        final size/budget figures.
         """
         if workload is None:
             raise ValueError(
@@ -114,13 +117,18 @@ class Proteus(RangeFilter):
         params = check_spec_params(spec, ("max_probes", "seed", "trie_impl"))
         max_probes = int(params.get("max_probes", DEFAULT_MAX_PROBES))
         key_set, total_bits = resolve_spec_inputs(spec, keys, workload)
-        model = CPFPRModel(key_set, key_set.width, workload.queries, max_probes)
-        design = design_proteus(model, total_bits)
-        instance = cls(
-            key_set.keys, key_set.width, design,
-            max_probes=max_probes, seed=int(params.get("seed", 0)),
-            trie_impl=str(params.get("trie_impl", "sorted")),
-        )
+        with timed(metrics, "build.model_seconds"):
+            model = CPFPRModel(
+                key_set, key_set.width, workload.queries, max_probes, metrics=metrics
+            )
+        with timed(metrics, "build.design_seconds"):
+            design = design_proteus(model, total_bits, metrics)
+        with timed(metrics, "build.instantiate_seconds"):
+            instance = cls(
+                key_set.keys, key_set.width, design,
+                max_probes=max_probes, seed=int(params.get("seed", 0)),
+                trie_impl=str(params.get("trie_impl", "sorted")),
+            )
         instance.key_space = workload.key_space
         return instance
 

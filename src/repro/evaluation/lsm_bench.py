@@ -37,9 +37,14 @@ import argparse
 import json
 import sys
 
+import numpy as np
+
 from repro.api import FilterSpec, Workload, family as family_entry
 from repro.evaluation.sweep import held_out_queries
 from repro.lsm import CostModel, LSMTree
+from repro.obs.drift import DriftMonitor, predicted_tree_fpr
+from repro.obs.metrics import MetricsRegistry, timed
+from repro.obs.trace import ProbeTrace
 
 __all__ = ["DEFAULT_FAMILIES", "run_lsm_bench", "check_report", "main"]
 
@@ -51,22 +56,60 @@ DEFAULT_FAMILIES = ("bloom", "prefix_bloom", "surf", "rosetta", "proteus")
 NO_FILTER = "no_filter"
 
 
-def _probe_config(tree: LSMTree, eval_batch, model: CostModel, name: str) -> dict:
-    """Probe the tree as currently configured and summarise one config."""
-    result = tree.probe(eval_batch)
+def _probe_config(
+    tree: LSMTree,
+    eval_batch,
+    model: CostModel,
+    name: str,
+    metrics: MetricsRegistry | None = None,
+    trace_sample: int = 0,
+):
+    """Probe the tree as currently configured and summarise one config.
+
+    Returns ``(config, result)`` — the JSON-ready summary plus the raw
+    :class:`~repro.lsm.cost.ProbeResult` (the caller's drift monitor chunks
+    its per-query arrays).  ``trace_sample > 0`` replays the first that many
+    queries with a :class:`~repro.obs.trace.ProbeTrace` attached and fails
+    the run unless the trace totals reconcile *exactly* against the replay's
+    ProbeResult.
+    """
+    with timed(metrics, "probe.seconds"):
+        result = tree.probe(eval_batch)
     missed = int(result.missed_reads.sum())
     if missed:
         raise AssertionError(
             f"{name}: {missed} missed reads — a filter rejected an SST that "
             f"held a matching key (false negative)"
         )
+    if metrics is not None:
+        metrics.inc("probe.configs")
+        metrics.inc("probe.queries", result.num_queries)
+        metrics.inc("probe.blocks_read", result.total_blocks_read())
+        metrics.inc("probe.false_positive_reads", result.total_false_positive_reads())
     filter_bits = tree.filter_size_bits()
-    return {
+    config = {
         "filter_bits": filter_bits,
         "filter_bits_per_key": filter_bits / tree.num_keys,
         "filter_bits_per_level": tree.filter_bits_per_level(),
         "probe": result.to_dict(model),
     }
+    if trace_sample > 0:
+        sample = min(int(trace_sample), len(eval_batch))
+        sub_batch = eval_batch.select(np.arange(sample))
+        trace = ProbeTrace()
+        sub_result = tree.probe(sub_batch, trace=trace)
+        mismatches = trace.reconcile(sub_result)
+        if mismatches:
+            raise AssertionError(
+                f"{name}: probe trace does not reconcile with ProbeResult: "
+                + "; ".join(mismatches)
+            )
+        config["trace"] = {
+            **trace.to_dict(max_events=16),
+            "num_queries": sample,
+            "reconciled": True,
+        }
+    return config, result
 
 
 def run_lsm_bench(
@@ -83,8 +126,20 @@ def run_lsm_bench(
     fanout: int = 4,
     policy: str = "proportional",
     cost_model: CostModel | None = None,
+    metrics: MetricsRegistry | None = None,
+    trace_sample: int = 0,
+    drift_batches: int = 8,
 ) -> dict:
-    """Run every configuration over one shared tree; return the JSON report."""
+    """Run every configuration over one shared tree; return the JSON report.
+
+    ``metrics`` threads a :class:`~repro.obs.metrics.MetricsRegistry`
+    through every build and probe (the report then grows a ``metrics``
+    section); ``trace_sample`` replays that many queries per config under a
+    reconciled :class:`~repro.obs.trace.ProbeTrace`; ``drift_batches``
+    splits each filtered config's evaluation into that many batches for an
+    online :class:`~repro.obs.drift.DriftMonitor` comparison of observed vs
+    CPFPR-predicted FPR (families without a prediction are skipped).
+    """
     for name in families:
         if family_entry(name).budget_free:
             raise ValueError(
@@ -108,15 +163,38 @@ def run_lsm_bench(
     # lives under each config, not in the shared tree section.
     tree_summary = tree.describe()
     configs: dict[str, dict] = {}
-    baseline = _probe_config(tree, eval_batch, model, NO_FILTER)
+    baseline, _ = _probe_config(
+        tree, eval_batch, model, NO_FILTER, metrics, trace_sample
+    )
     baseline["spec"] = None
     configs[NO_FILTER] = baseline
     required_reads = baseline["probe"]["required_reads"]
     for name in families:
         spec = FilterSpec(name, bits_per_key)
-        tree.attach_filters(spec, workload, policy=policy)
-        config = _probe_config(tree, eval_batch, model, name)
+        tree.attach_filters(spec, workload, policy=policy, metrics=metrics)
+        config, result = _probe_config(
+            tree, eval_batch, model, name, metrics, trace_sample
+        )
         config["spec"] = spec.to_dict()
+        predicted = predicted_tree_fpr(tree)
+        if predicted is not None and drift_batches > 0:
+            # Replay the held-out evaluation as an online stream: chunk the
+            # per-query accounting into batches and let the monitor grade
+            # the observed FPR (per empty (query, SST) pair) against the
+            # key-count-weighted CPFPR prediction of the attached filters.
+            monitor = DriftMonitor(predicted)
+            for chunk in np.array_split(np.arange(result.num_queries), drift_batches):
+                if chunk.size == 0:
+                    continue
+                required = int(result.required_reads[chunk].sum())
+                monitor.observe(
+                    int(result.false_positive_reads[chunk].sum()),
+                    int(chunk.size) * tree.num_ssts - required,
+                )
+            config["drift"] = monitor.to_dict()
+            if metrics is not None:
+                metrics.inc("drift.batches", monitor.num_batches)
+                metrics.inc("drift.flags", monitor.num_drift_flags)
         # The tree and queries are shared, so ground truth cannot move.
         if config["probe"]["required_reads"] != required_reads:
             raise AssertionError(
@@ -129,7 +207,7 @@ def run_lsm_bench(
                 1.0 - config["probe"][metric] / base_value if base_value else 0.0
             )
         configs[name] = config
-    return {
+    report = {
         "workload": workload.describe(),
         "evaluation": {
             "num_queries": len(eval_batch),
@@ -143,6 +221,9 @@ def run_lsm_bench(
         "budget_policy": policy,
         "configs": configs,
     }
+    if metrics is not None:
+        report["metrics"] = metrics.to_dict()
+    return report
 
 
 def check_report(report: dict) -> list[str]:
@@ -255,11 +336,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--output", default=None, help="write the JSON report here")
     parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="instrument every build and probe, and write the standalone "
+        "metrics payload (JSON) here",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=0,
+        help="per config, replay this many queries under a ProbeTrace and "
+        "fail unless the trace reconciles exactly with the ProbeResult",
+    )
+    parser.add_argument(
+        "--drift-batches",
+        type=int,
+        default=8,
+        help="batches the evaluation splits into for the online "
+        "predicted-vs-observed FPR drift monitor (0 disables)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="fail unless the paper's qualitative I/O ordering holds",
     )
     args = parser.parse_args(argv)
+    metrics = MetricsRegistry() if args.metrics_out else None
     report = run_lsm_bench(
         families=tuple(name for name in args.families.split(",") if name),
         bits_per_key=args.bits_per_key,
@@ -274,11 +376,33 @@ def main(argv: list[str] | None = None) -> int:
         fanout=args.fanout,
         policy=args.policy,
         cost_model=CostModel(args.block_read_cost, args.filter_probe_cost),
+        metrics=metrics,
+        trace_sample=args.trace_sample,
+        drift_batches=args.drift_batches,
     )
     rendered = json.dumps(report, indent=2, sort_keys=True)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(rendered + "\n")
+    if metrics is not None:
+        payload = {
+            "driver": "lsm_bench",
+            "metrics": metrics.to_dict(),
+            "prometheus": metrics.to_prometheus(),
+            "traces": {
+                name: config["trace"]
+                for name, config in report["configs"].items()
+                if "trace" in config
+            },
+            "drift": {
+                name: config["drift"]
+                for name, config in report["configs"].items()
+                if "drift" in config
+            },
+        }
+        with open(args.metrics_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     print(rendered)
     if args.check:
         violations = check_report(report)

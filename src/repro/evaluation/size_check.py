@@ -41,6 +41,7 @@ import numpy as np
 from repro.api import FilterSpec, Workload, build_filter
 from repro.filters.base import TrieOracle
 from repro.filters.surf import SuRF
+from repro.obs.metrics import MetricsRegistry, timed
 from repro.trie.fst import FSTPrefixIndex
 from repro.trie.size_model import binary_trie_size_estimate
 from repro.trie.sorted_index import SortedPrefixIndex
@@ -130,13 +131,15 @@ def run_size_check(
     key_dists: tuple[str, ...] = KEY_DISTS,
     query_families: tuple[str, ...] = QUERY_FAMILIES,
     tolerance: float = DEFAULT_TOLERANCE,
+    metrics: MetricsRegistry | None = None,
 ) -> dict:
     """Audit physical trie sizes and answers across the workload grid.
 
     One record per (key distribution, query family, structure/depth); the
     report's ``summary`` aggregates the worst measured/predicted ratio and
     total violation counts so ``--check`` (and the committed benchmark)
-    can gate on single numbers.
+    can gate on single numbers.  ``metrics`` optionally instruments the
+    audit (per-cell timings, record counts, and the Proteus parity builds).
     """
     records: list[dict] = []
     proteus_parity: list[dict] = []
@@ -149,23 +152,27 @@ def run_size_check(
             oracle = TrieOracle(workload.keys.keys, width)
             truth = oracle.may_intersect_many(workload.queries)
             num_bytes = (width + 7) // 8
-            for max_depth in sorted({min(2, num_bytes), num_bytes}):
-                record = _surf_record(workload, truth, max_depth)
-                record.update(key_dist=key_dist, query_family=query_family)
-                records.append(record)
-            for length in (max(1, width // 4), max(2, width // 2)):
-                record = _prefix_index_record(workload, length)
-                record.update(key_dist=key_dist, query_family=query_family)
-                records.append(record)
+            with timed(metrics, "size_check.cell_seconds"):
+                for max_depth in sorted({min(2, num_bytes), num_bytes}):
+                    record = _surf_record(workload, truth, max_depth)
+                    record.update(key_dist=key_dist, query_family=query_family)
+                    records.append(record)
+                for length in (max(1, width // 4), max(2, width // 2)):
+                    record = _prefix_index_record(workload, length)
+                    record.update(key_dist=key_dist, query_family=query_family)
+                    records.append(record)
         # One end-to-end Proteus build per key distribution: the FST trie
         # layer must answer exactly as the sorted-array layer.
         workload = Workload.generate(
             num_keys, num_queries, width, seed=seed,
             key_dist=key_dist, query_family="mixed",
         )
-        sorted_filter = build_filter(FilterSpec("proteus", 14.0), None, workload)
+        sorted_filter = build_filter(
+            FilterSpec("proteus", 14.0), None, workload, metrics=metrics
+        )
         fst_filter = build_filter(
-            FilterSpec("proteus", 14.0, {"trie_impl": "fst"}), None, workload
+            FilterSpec("proteus", 14.0, {"trie_impl": "fst"}), None, workload,
+            metrics=metrics,
         )
         answers_sorted = sorted_filter.may_intersect_many(workload.queries)
         answers_fst = fst_filter.may_intersect_many(workload.queries)
@@ -202,7 +209,13 @@ def run_size_check(
         "parity_mismatches": sum(r["parity_mismatches"] for r in records)
         + sum(r["parity_mismatches"] for r in proteus_parity),
     }
-    return {
+    if metrics is not None:
+        metrics.inc("size_check.records", len(records))
+        metrics.set_gauge(
+            "size_check.worst_measured_over_predicted",
+            summary["worst_measured_over_predicted"],
+        )
+    report = {
         "config": {
             "num_keys": num_keys,
             "num_queries": num_queries,
@@ -216,6 +229,9 @@ def run_size_check(
         "proteus_trie_parity": proteus_parity,
         "summary": summary,
     }
+    if metrics is not None:
+        report["metrics"] = metrics.to_dict()
+    return report
 
 
 def check_report(report: dict) -> list[str]:
@@ -256,21 +272,36 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--output", default=None, help="write the JSON report here")
     parser.add_argument(
+        "--metrics-out", default=None,
+        help="instrument the audit and write the metrics payload (JSON) here",
+    )
+    parser.add_argument(
         "--check", action="store_true",
         help="fail unless every size/FN/parity property holds",
     )
     args = parser.parse_args(argv)
+    metrics = MetricsRegistry() if args.metrics_out else None
     report = run_size_check(
         num_keys=args.keys,
         num_queries=args.queries,
         width=args.width,
         seed=args.seed,
         tolerance=args.tolerance,
+        metrics=metrics,
     )
     rendered = json.dumps(report, indent=2, sort_keys=True)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(rendered + "\n")
+    if metrics is not None:
+        payload = {
+            "driver": "size_check",
+            "metrics": metrics.to_dict(),
+            "prometheus": metrics.to_prometheus(),
+        }
+        with open(args.metrics_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     print(rendered)
     if args.check:
         violations = check_report(report)

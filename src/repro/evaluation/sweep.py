@@ -35,6 +35,7 @@ import sys
 
 from repro.api import FilterSpec, Workload, build_filter, family as family_entry
 from repro.filters.base import TrieOracle
+from repro.obs.metrics import MetricsRegistry, timed
 from repro.workloads.batch import QueryBatch
 from repro.workloads.generators import QUERY_FAMILIES
 
@@ -72,11 +73,15 @@ def run_sweep(
     key_dist: str = "uniform",
     query_family: str = "mixed",
     base_params: dict[str, dict] | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> dict:
     """Build every family at every budget and return the JSON-ready report.
 
     ``base_params`` optionally maps a family name to extra ``FilterSpec``
     parameters (applied at every grid point); budgets come from ``grid``.
+    ``metrics`` threads a :class:`~repro.obs.metrics.MetricsRegistry`
+    through every build and times the held-out grading; the report then
+    grows a ``metrics`` section.
     """
     if not families:
         raise ValueError("need at least one filter family to sweep")
@@ -106,8 +111,11 @@ def run_sweep(
         points = []
         for bits_per_key in grid:
             spec = FilterSpec(name, bits_per_key, (base_params or {}).get(name, {}))
-            filt = build_filter(spec, workload.keys, workload)
-            answers = filt.may_intersect_many(eval_batch)
+            filt = build_filter(spec, workload.keys, workload, metrics=metrics)
+            with timed(metrics, "sweep.grade_seconds"):
+                answers = filt.may_intersect_many(eval_batch)
+            if metrics is not None:
+                metrics.inc("sweep.points")
             false_negatives = int((~answers & truth).sum())
             if false_negatives:
                 raise AssertionError(
@@ -125,7 +133,7 @@ def run_sweep(
                 }
             )
         curves[name] = points
-    return {
+    report = {
         "workload": workload.describe(),
         "evaluation": {
             "num_queries": len(eval_batch),
@@ -135,6 +143,9 @@ def run_sweep(
         },
         "curves": curves,
     }
+    if metrics is not None:
+        report["metrics"] = metrics.to_dict()
+    return report
 
 
 def check_monotone(report: dict, tolerance: float = 0.0) -> list[str]:
@@ -226,6 +237,10 @@ def main(argv: list[str] | None = None) -> int:
         choices=("uniform", "point", "correlated", "mixed"),
     )
     parser.add_argument("--output", default=None, help="write the JSON report here")
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="instrument every build and write the metrics payload (JSON) here",
+    )
     parser.add_argument("--plot", default=None, help="write a matplotlib figure here")
     parser.add_argument(
         "--check-monotone", action="store_true",
@@ -236,6 +251,7 @@ def main(argv: list[str] | None = None) -> int:
         help="absolute FPR slack allowed per grid step by --check-monotone",
     )
     args = parser.parse_args(argv)
+    metrics = MetricsRegistry() if args.metrics_out else None
     report = run_sweep(
         families=tuple(name for name in args.families.split(",") if name),
         grid=tuple(float(b) for b in args.grid.split(",") if b),
@@ -246,11 +262,21 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         key_dist=args.key_dist,
         query_family=args.query_family,
+        metrics=metrics,
     )
     rendered = json.dumps(report, indent=2, sort_keys=True)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(rendered + "\n")
+    if metrics is not None:
+        payload = {
+            "driver": "sweep",
+            "metrics": metrics.to_dict(),
+            "prometheus": metrics.to_prometheus(),
+        }
+        with open(args.metrics_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     print(rendered)
     if args.plot:
         if plot_report(report, args.plot):

@@ -23,6 +23,7 @@ contained a matching key.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -53,6 +54,22 @@ class CostModel:
             "block_read_cost": self.block_read_cost,
             "filter_probe_cost": self.filter_probe_cost,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CostModel":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected, not dropped.
+
+        Missing rates take the dataclass defaults, so a cost section logged
+        by an older artifact (or a hand-written config) round-trips into the
+        same model the run priced with.
+        """
+        unknown = sorted(set(data) - {"block_read_cost", "filter_probe_cost"})
+        if unknown:
+            raise ValueError(f"unknown CostModel field(s) {unknown}")
+        return cls(
+            block_read_cost=float(data.get("block_read_cost", 1.0)),
+            filter_probe_cost=float(data.get("filter_probe_cost", 0.0)),
+        )
 
 
 @dataclass

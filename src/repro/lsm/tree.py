@@ -33,6 +33,8 @@ from repro.api import FilterSpec, Workload, build_filter, derive_sst_specs
 from repro.filters.base import ragged_ranges
 from repro.lsm.cost import CostModel, ProbeResult
 from repro.lsm.sstable import SSTable
+from repro.obs.metrics import timed
+from repro.obs.trace import ProbeTrace
 from repro.workloads.batch import EncodedKeySet, coerce_query_batch
 
 __all__ = ["LSMTree"]
@@ -136,6 +138,7 @@ class LSMTree:
         spec: FilterSpec,
         workload: Workload,
         policy: str = "proportional",
+        metrics=None,
     ) -> None:
         """Build one filter per SST from ``spec`` and the shared sample.
 
@@ -144,11 +147,21 @@ class LSMTree:
         builds through ``build_filter(sst_spec, sst.keys, workload)`` — the
         self-designing families run Algorithm 1 per SST against the one
         shared query sample, fixed baselines derive their knobs per SST.
+        ``metrics`` optionally instruments every per-SST build (and the
+        whole attach pass) through the :mod:`repro.obs` registry.
         """
         ssts = self.sstables()
         specs = derive_sst_specs(spec, [len(sst) for sst in ssts], policy)
-        for sst, sst_spec in zip(ssts, specs):
-            sst.attach_filter(build_filter(sst_spec, sst.keys, workload), sst_spec)
+        with timed(metrics, "attach.seconds"):
+            for sst, sst_spec in zip(ssts, specs):
+                sst.attach_filter(
+                    build_filter(sst_spec, sst.keys, workload, metrics=metrics),
+                    sst_spec,
+                )
+        if metrics is not None:
+            metrics.inc("attach.passes")
+            metrics.inc("attach.ssts", len(ssts))
+            metrics.set_gauge("attach.last_filter_bits", self.filter_size_bits())
 
     def clear_filters(self) -> None:
         """Detach every SST's filter (the no-filter baseline)."""
@@ -159,13 +172,20 @@ class LSMTree:
     # Probing                                                            #
     # ------------------------------------------------------------------ #
 
-    def probe(self, queries) -> ProbeResult:
+    def probe(self, queries, trace: ProbeTrace | None = None) -> ProbeResult:
         """Replay a query batch through the tree and return the accounting.
 
         Per level, each query's fence-surviving SSTs form a contiguous
         interval (``first[q] <= j < last[q]``); per SST, the queries routed
         to it are answered with one vectorised filter call and classified
         against the SST's exact ground truth.
+
+        ``trace`` optionally records every routed (query, SST) pair as a
+        :class:`~repro.obs.trace.ProbeEvent` — fence survival, filter
+        verdict, charged block read, ground truth — whose totals reconcile
+        exactly against the returned :class:`ProbeResult`
+        (``trace.reconcile(result)``).  The untraced path pays one ``is
+        None`` check per routed SST group and nothing else.
         """
         batch = coerce_query_batch(queries, self.width)
         result = ProbeResult.zeros(len(batch), len(self.levels))
@@ -208,6 +228,15 @@ class LSMTree:
                 result.required_reads[query_indices] += truth
                 result.false_positive_reads[query_indices] += positives & ~truth
                 result.missed_reads[query_indices] += truth & ~positives
+                if trace is not None:
+                    trace.record_sst(
+                        level_index,
+                        int(flat_sst[start]),
+                        query_indices,
+                        positives,
+                        truth,
+                        filtered,
+                    )
                 stats.candidates += int(query_indices.size)
                 stats.filter_probes += int(query_indices.size) if filtered else 0
                 stats.blocks_read += int(positives.sum())

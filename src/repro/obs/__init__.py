@@ -1,0 +1,45 @@
+"""Observability: metrics, probe tracing, and online FPR-drift monitoring.
+
+A dependency-free (stdlib-only) instrumentation subsystem, opt-in
+everywhere it is wired:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` of counters, gauges
+  and fixed-bucket histograms with a ``timer()`` context manager and
+  JSON/Prometheus exporters; threaded as an optional ``metrics=``
+  parameter through ``build_filter`` → ``from_spec`` → Algorithm 1;
+* :mod:`repro.obs.trace` — :class:`ProbeTrace`, the ring-buffered
+  per-query/per-level event recorder ``LSMTree.probe`` fills, whose
+  totals reconcile exactly against the run's ``ProbeResult``;
+* :mod:`repro.obs.drift` — :class:`DriftMonitor`, the rolling
+  predicted-CPFPR-vs-observed-FPR comparator (the sensor half of the
+  self-redesign loop).
+
+The disabled state is the default and costs nothing on the hot paths:
+every instrumented call site guards on ``metrics is not None`` /
+``trace is not None``.
+"""
+
+from repro.obs.drift import DriftMonitor, DriftReport, predicted_tree_fpr
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    timed,
+    validate_metrics_payload,
+)
+from repro.obs.trace import ProbeEvent, ProbeTrace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "timed",
+    "validate_metrics_payload",
+    "ProbeEvent",
+    "ProbeTrace",
+    "DriftMonitor",
+    "DriftReport",
+    "predicted_tree_fpr",
+]

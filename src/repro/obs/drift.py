@@ -1,0 +1,247 @@
+"""Online FPR-drift monitoring: predicted CPFPR vs observed per-batch FPR.
+
+Proteus' contextual design is only as good as its query sample: when the
+live query mix drifts away from the sample Algorithm 1 optimised against,
+the filter's *observed* FPR detaches from the CPFPR model's *prediction*.
+:class:`DriftMonitor` is the sensor half of the ROADMAP's self-redesign
+loop — it maintains a rolling window of per-batch ``(false positives,
+empty-query opportunities)`` observations, compares the windowed observed
+rate against the frozen prediction, and flags divergence beyond a
+configurable allowance.  The actuator (redesign/rebuild) plugs in on top.
+
+Design choices:
+
+* **pure arithmetic** — no clocks, no randomness: the same observation
+  sequence always produces the same reports (seeded-determinism test);
+* **two-sided, two-part allowance** — drift is flagged when
+  ``|observed - predicted| > max(abs_threshold, rel_threshold *
+  predicted)``: the absolute floor absorbs sampling noise when the
+  prediction is near zero, the relative part scales with it (the CPFPR
+  model is validated to small-constant agreement, not equality);
+* **warm-up guard** — no flag until the window holds ``min_empty`` empty
+  queries: a handful of early batches cannot trip the alarm.
+
+Observations arrive three ways: raw ``observe(fp, empty)`` counts,
+``observe_answers(answers, truth)`` boolean arrays (the sweep's held-out
+grading), or ``observe_result(result)`` from an LSM
+:class:`~repro.lsm.cost.ProbeResult` (per empty-candidate filter trial).
+:func:`predicted_tree_fpr` derives the tree-level prediction an LSM
+monitor compares against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import asdict, dataclass
+
+__all__ = ["DriftMonitor", "DriftReport", "predicted_tree_fpr"]
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """One batch's verdict: windowed observed FPR vs the frozen prediction."""
+
+    batch: int  #: 0-based index of the observation that produced this report
+    predicted_fpr: float
+    observed_fpr: float  #: windowed rate (0.0 while the window is all-empty)
+    deviation: float  #: observed - predicted
+    allowance: float  #: max(abs_threshold, rel_threshold * predicted)
+    window_batches: int  #: batches currently in the window
+    window_empty: int  #: empty-query opportunities in the window
+    warmed_up: bool  #: has the window seen >= min_empty opportunities
+    drifted: bool  #: warmed up AND |deviation| > allowance
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class DriftMonitor:
+    """Rolling predicted-vs-observed FPR comparator.
+
+    ``predicted_fpr`` is the CPFPR prediction of the deployed design (a
+    probability in [0, 1], frozen at build time); ``window`` bounds how
+    many batches the observed rate averages over, so the monitor tracks
+    the *current* mix rather than the lifetime mean.
+    """
+
+    def __init__(
+        self,
+        predicted_fpr: float,
+        window: int = 8,
+        abs_threshold: float = 0.05,
+        rel_threshold: float = 0.5,
+        min_empty: int = 64,
+    ):
+        if not 0.0 <= predicted_fpr <= 1.0:
+            raise ValueError(f"predicted_fpr must be in [0, 1], got {predicted_fpr}")
+        if window < 1:
+            raise ValueError("window must be at least 1 batch")
+        if abs_threshold < 0 or rel_threshold < 0:
+            raise ValueError("thresholds must be non-negative")
+        if min_empty < 1:
+            raise ValueError("min_empty must be at least 1")
+        self.predicted_fpr = float(predicted_fpr)
+        self.window = window
+        self.abs_threshold = float(abs_threshold)
+        self.rel_threshold = float(rel_threshold)
+        self.min_empty = min_empty
+        self._batches: deque[tuple[int, int]] = deque(maxlen=window)
+        self.num_batches = 0
+        self.num_drift_flags = 0
+        self._last: DriftReport | None = None
+
+    # ------------------------------------------------------------------ #
+    # Observation                                                        #
+    # ------------------------------------------------------------------ #
+
+    def observe(self, false_positives: int, num_empty: int) -> DriftReport:
+        """Fold one batch's ``(false positives, empty opportunities)`` in.
+
+        ``num_empty`` counts the opportunities a false positive *could*
+        have occurred on (empty queries, or empty-candidate filter trials
+        in the LSM setting); ``false_positives`` counts how many did.
+        Returns the report for the updated window.
+        """
+        false_positives = int(false_positives)
+        num_empty = int(num_empty)
+        if num_empty < 0 or false_positives < 0:
+            raise ValueError("observation counts must be non-negative")
+        if false_positives > num_empty:
+            raise ValueError(
+                f"{false_positives} false positives exceed "
+                f"{num_empty} empty opportunities"
+            )
+        self._batches.append((false_positives, num_empty))
+        window_fp = sum(fp for fp, _ in self._batches)
+        window_empty = sum(empty for _, empty in self._batches)
+        observed = window_fp / window_empty if window_empty else 0.0
+        allowance = max(self.abs_threshold, self.rel_threshold * self.predicted_fpr)
+        warmed_up = window_empty >= self.min_empty
+        deviation = observed - self.predicted_fpr
+        drifted = warmed_up and abs(deviation) > allowance
+        report = DriftReport(
+            batch=self.num_batches,
+            predicted_fpr=self.predicted_fpr,
+            observed_fpr=observed,
+            deviation=deviation,
+            allowance=allowance,
+            window_batches=len(self._batches),
+            window_empty=window_empty,
+            warmed_up=warmed_up,
+            drifted=drifted,
+        )
+        self.num_batches += 1
+        if drifted:
+            self.num_drift_flags += 1
+        self._last = report
+        return report
+
+    def observe_answers(self, answers, truth) -> DriftReport:
+        """Fold in one batch of filter answers graded against ground truth.
+
+        ``answers``/``truth`` are aligned boolean arrays (filter verdicts
+        and oracle truth for the same queries); the empty queries are the
+        ``~truth`` positions and the false positives the answers among
+        them.
+        """
+        empty = ~truth
+        return self.observe(int((answers & empty).sum()), int(empty.sum()))
+
+    def observe_result(self, result, num_ssts: int | None = None) -> DriftReport:
+        """Fold in one LSM probe batch from its :class:`ProbeResult`.
+
+        With ``num_ssts`` given, every (query, SST) pair whose SST held no
+        matching key counts as an opportunity — the denominator the
+        per-SST CPFPR predictions average over (a truly matching pair
+        always survives its fences, so empty pairs are ``queries × SSTs -
+        required reads``; fence pruning removes only certain negatives and
+        can only push the observed rate *below* the prediction).  Without
+        it, only fence-surviving empty pairs count — a stricter rate,
+        conditioned on queries that already looked plausible.
+        """
+        false_positives = int(result.false_positive_reads.sum())
+        required = int(result.required_reads.sum())
+        if num_ssts is None:
+            empty_trials = int(result.candidates.sum()) - required
+        else:
+            empty_trials = result.num_queries * int(num_ssts) - required
+        return self.observe(false_positives, empty_trials)
+
+    # ------------------------------------------------------------------ #
+    # State                                                              #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def last_report(self) -> DriftReport | None:
+        """The most recent batch's report (None before any observation)."""
+        return self._last
+
+    @property
+    def drifted(self) -> bool:
+        """Did the most recent batch flag drift?"""
+        return self._last is not None and self._last.drifted
+
+    @property
+    def observed_fpr(self) -> float:
+        """The current windowed observed FPR (0.0 before any observation)."""
+        return self._last.observed_fpr if self._last is not None else 0.0
+
+    def reset(self, predicted_fpr: float | None = None) -> None:
+        """Clear the window (after a rebuild); optionally re-pin the prediction."""
+        if predicted_fpr is not None:
+            if not 0.0 <= predicted_fpr <= 1.0:
+                raise ValueError(
+                    f"predicted_fpr must be in [0, 1], got {predicted_fpr}"
+                )
+            self.predicted_fpr = float(predicted_fpr)
+        self._batches.clear()
+        self.num_batches = 0
+        self.num_drift_flags = 0
+        self._last = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready configuration + current window state."""
+        return {
+            "predicted_fpr": self.predicted_fpr,
+            "window": self.window,
+            "abs_threshold": self.abs_threshold,
+            "rel_threshold": self.rel_threshold,
+            "min_empty": self.min_empty,
+            "num_batches": self.num_batches,
+            "num_drift_flags": self.num_drift_flags,
+            "observed_fpr": self.observed_fpr,
+            "drifted": self.drifted,
+            "last_report": self._last.to_dict() if self._last else None,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DriftMonitor(predicted={self.predicted_fpr:.4g}, "
+            f"observed={self.observed_fpr:.4g}, batches={self.num_batches}, "
+            f"drifted={self.drifted})"
+        )
+
+
+def predicted_tree_fpr(tree) -> float | None:
+    """Key-count-weighted mean of the per-SST filters' CPFPR predictions.
+
+    The LSM deployment builds one self-designed filter per SST; each
+    exposes its own ``expected_fpr``.  A fence-surviving probe of a larger
+    SST is (to first order) proportionally more likely, so the key-count
+    weighting approximates the per-trial prediction
+    :meth:`DriftMonitor.observe_result` grades against.  Returns ``None``
+    when no attached filter exposes a prediction (fixed baselines, or a
+    bare tree) — no prediction, no monitor.
+    """
+    weighted = 0.0
+    weight = 0
+    for sst in tree.sstables():
+        filt = sst.filter
+        if filt is None:
+            continue
+        fpr = getattr(filt, "expected_fpr", None)
+        if fpr is None:
+            continue
+        weighted += float(fpr) * len(sst)
+        weight += len(sst)
+    return weighted / weight if weight else None

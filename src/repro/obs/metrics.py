@@ -1,0 +1,319 @@
+"""The metrics substrate: counters, gauges, fixed-bucket histograms, timers.
+
+A :class:`MetricsRegistry` is the one handle instrumented code passes
+around.  It is deliberately dependency-free (stdlib only) and *optional*
+everywhere: every instrumented call site takes ``metrics=None`` and guards
+emission behind an ``is not None`` check, so the disabled hot paths pay a
+single pointer comparison — the overhead contract the timed parity test
+pins.
+
+Three metric kinds, all named by dotted strings (``"build.seconds"``):
+
+* **counters** — monotone floats (``inc``); events, totals, evaluation
+  counts;
+* **gauges** — last-write-wins floats (``set_gauge``); final design knobs,
+  sizes;
+* **histograms** — fixed upper-bound buckets plus an implicit ``+inf``
+  overflow bucket (``observe``); timings and size distributions.  Buckets
+  are fixed at first registration, so exports are stable across a run.
+
+:meth:`MetricsRegistry.timer` is a context manager observing wall-clock
+seconds into a histogram; :func:`timed` is the ``None``-tolerant wrapper
+instrumented builders use.  Exporters: :meth:`MetricsRegistry.to_dict`
+(JSON-ready, the shape ``validate_metrics_payload`` checks and the bench
+artifacts embed) and :meth:`MetricsRegistry.to_prometheus` (the text
+exposition format, one line per sample).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from bisect import bisect_left
+from contextlib import contextmanager, nullcontext
+from time import perf_counter
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "timed",
+    "validate_metrics_payload",
+    "DEFAULT_TIME_BUCKETS",
+]
+
+#: Default histogram buckets for timers, in seconds (upper bounds; an
+#: implicit +inf overflow bucket always follows the last one).
+DEFAULT_TIME_BUCKETS = (
+    1e-5,
+    1e-4,
+    1e-3,
+    1e-2,
+    0.1,
+    1.0,
+    10.0,
+)
+
+_PROM_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative: counters never go down)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A fixed-bucket histogram: cumulative-style counts, sum and count.
+
+    ``buckets`` are strictly increasing finite upper bounds; every observed
+    value lands in the first bucket whose bound is ``>= value``, or in the
+    implicit ``+inf`` overflow bucket.  ``counts`` is per-bucket (not
+    cumulative); the Prometheus exporter accumulates on the way out.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "total", "count")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError(f"histogram {name!r} buckets must be finite")
+        if any(a >= b for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name!r} buckets must strictly increase")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last entry is the +inf bucket
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+        }
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    One registry per instrumented run; the drivers create it, thread it
+    through ``build_filter``/``probe``, and export it into the benchmark
+    artifact.  Registering the same name twice with the same kind returns
+    the existing metric; reusing a name across kinds is an error (the
+    export would be ambiguous).
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration and emission                                          #
+    # ------------------------------------------------------------------ #
+
+    def _check_kind(self, name: str, kind: dict) -> None:
+        for other in (self._counters, self._gauges, self._histograms):
+            if other is not kind and name in other:
+                raise ValueError(f"metric name {name!r} is already a different kind")
+
+    def counter(self, name: str) -> Counter:
+        """Return (registering on first use) the counter called ``name``."""
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_kind(name, self._counters)
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """Return (registering on first use) the gauge called ``name``."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_kind(name, self._gauges)
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS
+    ) -> Histogram:
+        """Return the histogram called ``name`` (buckets fix on first use)."""
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_kind(name, self._histograms)
+            metric = self._histograms[name] = Histogram(name, buckets)
+        return metric
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment the counter called ``name``."""
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge called ``name``."""
+        self.gauge(name).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        """Record one sample into the histogram called ``name``."""
+        self.histogram(name, buckets).observe(value)
+
+    @contextmanager
+    def timer(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS
+    ) -> Iterator[None]:
+        """Observe the wall-clock seconds of the ``with`` body into ``name``."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, perf_counter() - start, buckets)
+
+    # ------------------------------------------------------------------ #
+    # Exporters                                                          #
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """JSON-ready export: the shape ``validate_metrics_payload`` checks."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: h.to_dict() for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def to_prometheus(self) -> str:
+        """Render the Prometheus text exposition format (one sample per line).
+
+        Dotted names are sanitised to underscores; counters get the
+        conventional ``_total`` suffix; histogram bucket counts are emitted
+        cumulatively with ``le`` labels, as the format requires.
+        """
+        lines: list[str] = []
+        for name, counter in sorted(self._counters.items()):
+            flat = _PROM_SANITIZE.sub("_", name)
+            lines.append(f"# TYPE {flat}_total counter")
+            lines.append(f"{flat}_total {_format_value(counter.value)}")
+        for name, gauge in sorted(self._gauges.items()):
+            flat = _PROM_SANITIZE.sub("_", name)
+            lines.append(f"# TYPE {flat} gauge")
+            lines.append(f"{flat} {_format_value(gauge.value)}")
+        for name, hist in sorted(self._histograms.items()):
+            flat = _PROM_SANITIZE.sub("_", name)
+            lines.append(f"# TYPE {flat} histogram")
+            cumulative = 0
+            for bound, count in zip(hist.buckets, hist.counts):
+                cumulative += count
+                lines.append(
+                    f'{flat}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{flat}_bucket{{le="+Inf"}} {hist.count}')
+            lines.append(f"{flat}_sum {_format_value(hist.total)}")
+            lines.append(f"{flat}_count {hist.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_value(value: float) -> str:
+    """Integers render without a trailing ``.0`` (stable, diff-friendly)."""
+    return str(int(value)) if float(value).is_integer() else repr(float(value))
+
+
+def timed(metrics: MetricsRegistry | None, name: str):
+    """A ``with``-able timer that is a no-op when ``metrics`` is ``None``.
+
+    The idiom every instrumented builder uses::
+
+        with timed(metrics, "build.design_seconds"):
+            design = design_proteus(model, total_bits, metrics=metrics)
+    """
+    return nullcontext() if metrics is None else metrics.timer(name)
+
+
+def validate_metrics_payload(payload: dict) -> list[str]:
+    """Return schema violations of a :meth:`MetricsRegistry.to_dict` export.
+
+    Checks the three top-level sections exist and are mappings, counters
+    are non-negative finite numbers, and every histogram is internally
+    consistent (``len(counts) == len(buckets) + 1``, per-bucket counts
+    non-negative and summing to ``count``, finite ``sum``).  An empty list
+    means the payload is well-formed — the CI metrics smoke gate.
+    """
+    problems: list[str] = []
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(payload.get(section), dict):
+            problems.append(f"missing or non-mapping section {section!r}")
+    if problems:
+        return problems
+    for name, value in payload["counters"].items():
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            problems.append(f"counter {name!r} is not a finite number: {value!r}")
+        elif value < 0:
+            problems.append(f"counter {name!r} is negative: {value!r}")
+    for name, value in payload["gauges"].items():
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            problems.append(f"gauge {name!r} is not a finite number: {value!r}")
+    for name, hist in payload["histograms"].items():
+        if not isinstance(hist, dict):
+            problems.append(f"histogram {name!r} is not a mapping")
+            continue
+        buckets = hist.get("buckets")
+        counts = hist.get("counts")
+        if not isinstance(buckets, list) or not isinstance(counts, list):
+            problems.append(f"histogram {name!r} lacks buckets/counts lists")
+            continue
+        if len(counts) != len(buckets) + 1:
+            problems.append(
+                f"histogram {name!r} has {len(counts)} counts for "
+                f"{len(buckets)} buckets (want buckets + 1)"
+            )
+            continue
+        if any(not isinstance(c, int) or c < 0 for c in counts):
+            problems.append(f"histogram {name!r} has a negative/non-int count")
+        if sum(counts) != hist.get("count"):
+            problems.append(
+                f"histogram {name!r} counts sum to {sum(counts)} "
+                f"but count says {hist.get('count')}"
+            )
+        total = hist.get("sum")
+        if not isinstance(total, (int, float)) or not math.isfinite(total):
+            problems.append(f"histogram {name!r} sum is not a finite number")
+    return problems

@@ -138,6 +138,35 @@ class TestPerSstFilters:
         assert (result.blocks_read <= result.candidates).all()
         assert (result.filter_probes == result.candidates).all()
 
+    def test_per_level_stats_reconcile_with_per_query_arrays(
+        self, filtered_tree, workload
+    ):
+        # The two accountings of one probe — per-query arrays and per-level
+        # aggregates — must agree exactly, field by field: every routed
+        # (query, SST) pair is counted once on each side.
+        result = filtered_tree.probe(workload.queries)
+        fields = (
+            "candidates",
+            "filter_probes",
+            "blocks_read",
+            "required_reads",
+            "false_positive_reads",
+            "missed_reads",
+        )
+        for field in fields:
+            per_query_total = int(getattr(result, field).sum())
+            per_level_total = sum(
+                getattr(stats, field) for stats in result.per_level
+            )
+            assert per_query_total == per_level_total, field
+        # And the unfiltered tree agrees too (filter_probes identically 0).
+        bare = LSMTree.build(workload.keys, sst_keys=256, fanout=4, seed=11)
+        bare_result = bare.probe(workload.queries)
+        for field in fields:
+            assert int(getattr(bare_result, field).sum()) == sum(
+                getattr(stats, field) for stats in bare_result.per_level
+            ), field
+
     def test_per_level_memory_sums_match_each_filter(self, filtered_tree):
         per_level = filtered_tree.filter_bits_per_level()
         for level, expected in zip(filtered_tree.levels, per_level):
@@ -178,6 +207,19 @@ class TestCostModel:
         assert model.io_cost(blocks_read=10, filter_probes=8) == 22.0
         with pytest.raises(ValueError):
             CostModel(block_read_cost=-1.0)
+
+    def test_from_dict_round_trips_to_dict(self):
+        model = CostModel(block_read_cost=2.0, filter_probe_cost=0.25)
+        assert CostModel.from_dict(model.to_dict()) == model
+        # Missing rates fall back to the dataclass defaults.
+        assert CostModel.from_dict({}) == CostModel()
+        assert CostModel.from_dict({"block_read_cost": 3.0}) == CostModel(3.0, 0.0)
+
+    def test_from_dict_rejects_unknown_and_negative_fields(self):
+        with pytest.raises(ValueError, match="blok_read_cost"):
+            CostModel.from_dict({"blok_read_cost": 1.0})
+        with pytest.raises(ValueError):
+            CostModel.from_dict({"filter_probe_cost": -0.5})
 
     def test_probe_result_totals_and_empty_mask(self):
         result = ProbeResult.zeros(4, 2)
@@ -253,3 +295,70 @@ class TestLsmBench:
         assert code == 0
         written = json.loads(output.read_text())
         assert set(written["configs"]) == {"no_filter", "bloom", "proteus"}
+
+    def test_instrumented_run_grows_metrics_trace_and_drift_sections(self):
+        from repro.obs.metrics import MetricsRegistry, validate_metrics_payload
+
+        registry = MetricsRegistry()
+        report = run_lsm_bench(
+            families=("bloom", "proteus"),
+            num_keys=1200, num_queries=500, sst_keys=128, seed=5,
+            metrics=registry, trace_sample=100, drift_batches=4,
+        )
+        assert validate_metrics_payload(report["metrics"]) == []
+        counters = report["metrics"]["counters"]
+        assert counters["build.filters"] == counters["attach.ssts"]
+        assert counters["probe.configs"] == 3  # no_filter + two families
+        for name in ("no_filter", "bloom", "proteus"):
+            trace = report["configs"][name]["trace"]
+            assert trace["reconciled"] is True
+            assert trace["num_queries"] == 100
+        # Only families with a CPFPR prediction get a drift section.
+        assert "drift" not in report["configs"]["bloom"]
+        drift = report["configs"]["proteus"]["drift"]
+        assert drift["num_batches"] == 4
+        assert 0.0 <= drift["predicted_fpr"] <= 1.0
+
+    def test_instrumentation_does_not_change_the_report(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        plain = run_lsm_bench(
+            families=("proteus",), num_keys=800, num_queries=300,
+            sst_keys=128, seed=7,
+        )
+        instrumented = run_lsm_bench(
+            families=("proteus",), num_keys=800, num_queries=300,
+            sst_keys=128, seed=7,
+            metrics=MetricsRegistry(), trace_sample=50, drift_batches=4,
+        )
+        instrumented.pop("metrics")
+        # Drift rides on the probe result and runs by default; traces only
+        # appear when sampled.  Strip both overlays from both reports — the
+        # measurements underneath must be byte-identical.
+        for report in (plain, instrumented):
+            for config in report["configs"].values():
+                config.pop("trace", None)
+                config.pop("drift", None)
+        assert json.dumps(plain, sort_keys=True) == json.dumps(
+            instrumented, sort_keys=True
+        )
+
+    def test_cli_writes_validating_metrics_payload(self, tmp_path):
+        from repro.obs.metrics import validate_metrics_payload
+
+        metrics_out = tmp_path / "metrics.json"
+        code = main(
+            [
+                "--keys", "800", "--queries", "300", "--sst-keys", "128",
+                "--families", "proteus",
+                "--metrics-out", str(metrics_out),
+                "--trace-sample", "50",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(metrics_out.read_text())
+        assert payload["driver"] == "lsm_bench"
+        assert validate_metrics_payload(payload["metrics"]) == []
+        assert payload["traces"]["proteus"]["reconciled"] is True
+        assert "proteus" in payload["drift"]
+        assert "build_filters_total" in payload["prometheus"]
