@@ -39,6 +39,13 @@ The package is organised as a set of small, focused subpackages:
     that regenerates the paper's core figure family, and the LSM end-to-end
     driver (``python -m repro.evaluation.lsm_bench``) that reproduces the
     Fig. 9-style I/O comparison.
+``repro.kernels``
+    Compiled hot kernels behind a pluggable backend registry: fused Bloom
+    probe/insert, the fused LOUDS get+rank1 traversal step and the bulk
+    trie-build level pass, served by the numpy reference backend or an
+    optional compiled backend (numba JIT, on-demand C via the system
+    compiler) selected with ``REPRO_KERNEL_BACKEND``; every backend is
+    pinned bit-identical to numpy.
 ``repro.obs``
     Dependency-free observability: the ``MetricsRegistry`` of counters /
     gauges / histograms threaded through builds and probes (``metrics=``),
@@ -91,7 +98,7 @@ _LAZY_EXPORTS = {
 
 __all__ = list(_LAZY_EXPORTS)
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 
 def __getattr__(name: str):

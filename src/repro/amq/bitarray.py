@@ -120,3 +120,12 @@ class BitArray:
         view = self._buffer.view()
         view.flags.writeable = False
         return view
+
+    def mutable_words(self) -> np.ndarray:
+        """Expose the byte buffer *writable*, for in-place kernel inserts.
+
+        Callers (the :mod:`repro.kernels` Bloom insert path) must only set
+        bits below :attr:`num_bits`; the trailing pad bits of the last
+        byte stay clear so :meth:`to_bytes` stays deterministic.
+        """
+        return self._buffer

@@ -20,8 +20,9 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.amq.bitarray import BitArray
-from repro.amq.hashing import hash_pair, hash_pair_many
+from repro.amq.hashing import hash_pair, premixed_pair_seeds
 from repro.amq.interface import AMQ
 
 #: The paper caps the hash function count at 32 (Section 4.3, footnote 2).
@@ -69,6 +70,7 @@ class BloomFilter(AMQ):
         self.expected_items = max(0, int(num_items))
         self.num_hashes = bloom_hash_count(self.num_bits, max(1, self.expected_items))
         self.seed = seed
+        self._s1, self._s2 = premixed_pair_seeds(seed)
         self.bits = BitArray(self.num_bits)
         self._inserted = 0
 
@@ -128,14 +130,36 @@ class BloomFilter(AMQ):
     def _positions_many(self, items: np.ndarray) -> np.ndarray:
         """Return the ``(num_hashes, len(items))`` probe-position matrix.
 
-        Same enhanced-double-hashing recurrence as :meth:`_positions`, run
-        column-parallel over numpy ``uint64`` lanes — bit-exact with the
-        scalar path (all intermediates stay below 2**64 because x, y < m).
+        Same enhanced-double-hashing recurrence as :meth:`_positions`,
+        served by the :mod:`repro.kernels` numpy reference — bit-exact with
+        the scalar path (all intermediates stay below 2**64 because
+        x, y < m).
         """
-        h1, h2 = hash_pair_many(items, self.seed)
+        return kernels.bloom_positions(
+            items, self._s1, self._s2, self.num_bits, self.num_hashes,
+            backend="numpy",
+        )
+
+    def _hash_pairs_scalar(self, items: list) -> tuple[np.ndarray, np.ndarray]:
+        """Hash arbitrary items (big ints, any width) via the scalar pair."""
+        h1 = np.empty(len(items), dtype=np.uint64)
+        h2 = np.empty(len(items), dtype=np.uint64)
+        for i, item in enumerate(items):
+            a, b = hash_pair(item, self.seed)
+            h1[i] = a
+            h2[i] = b
+        return h1, h2
+
+    def _positions_from_hashes(self, h1: np.ndarray, h2: np.ndarray) -> np.ndarray:
+        """Probe-position matrix from precomputed hash pairs (fallback path).
+
+        The hashing of non-word items is irreducibly scalar, but the probe
+        recurrence is not: this runs it column-parallel so the fallback
+        costs one batched pass instead of ``k`` Python iterations per item.
+        """
         m = np.uint64(self.num_bits)
         x, y = h1 % m, h2 % m
-        out = np.empty((self.num_hashes, items.shape[0]), dtype=np.uint64)
+        out = np.empty((self.num_hashes, h1.shape[0]), dtype=np.uint64)
         out[0] = x
         for i in range(1, self.num_hashes):
             x = (x + y) % m
@@ -147,16 +171,16 @@ class BloomFilter(AMQ):
         arr, fallback = self._as_word_array(items)
         if arr is not None:
             if arr.size:
-                self.bits.set_many(self._positions_many(arr))
+                kernels.bloom_add(
+                    self.bits.mutable_words(), self.num_bits, arr,
+                    self._s1, self._s2, self.num_hashes,
+                )
             self._inserted += int(arr.size)
             return
-        positions: list[int] = []
-        count = 0
-        for item in fallback:
-            positions.extend(self._positions(item))
-            count += 1
-        self.bits.set_many(positions)
-        self._inserted += count
+        h1, h2 = self._hash_pairs_scalar(fallback)
+        if h1.size:
+            self.bits.set_many(self._positions_from_hashes(h1, h2))
+        self._inserted += len(fallback)
 
     def contains(self, item: int) -> bool:
         bits = self.bits
@@ -165,20 +189,24 @@ class BloomFilter(AMQ):
     def contains_many(self, items: Iterable[int]) -> np.ndarray:
         """Vectorised :meth:`contains`: one boolean per item.
 
-        Word-sized items are hashed and probed in bulk; anything else falls
-        back to a scalar loop (big string-key prefixes, for instance).
+        Word-sized items are hashed and probed by the kernel backend in
+        bulk; anything else (big string-key prefixes, for instance) hashes
+        scalar but still probes in one batched pass.
         """
         arr, fallback = self._as_word_array(items)
         if arr is None:
-            return np.fromiter(
-                (self.contains(item) for item in fallback), dtype=bool,
-                count=len(fallback),
-            )
+            if not fallback:
+                return np.zeros(0, dtype=bool)
+            h1, h2 = self._hash_pairs_scalar(fallback)
+            positions = self._positions_from_hashes(h1, h2)
+            probed = self.bits.get_many(positions.ravel())
+            return probed.reshape(positions.shape).all(axis=0)
         if arr.size == 0:
             return np.zeros(0, dtype=bool)
-        positions = self._positions_many(arr)
-        probed = self.bits.get_many(positions.ravel())
-        return probed.reshape(positions.shape).all(axis=0)
+        return kernels.bloom_contains(
+            self.bits.words(), self.num_bits, arr,
+            self._s1, self._s2, self.num_hashes,
+        )
 
     def size_in_bits(self) -> int:
         return self.bits.size_in_bits()

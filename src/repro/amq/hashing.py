@@ -91,6 +91,16 @@ def mix64_many(values: np.ndarray) -> np.ndarray:
     return v
 
 
+def premixed_pair_seeds(seed: int = 0) -> tuple[int, int]:
+    """Return the two per-filter seed constants of :func:`hash_pair_many`.
+
+    ``(mix64(seed), mix64(seed ^ GOLDEN))`` — precomputing them once lets
+    the compiled kernels in :mod:`repro.kernels` derive both hashes of a
+    word-sized value with two ``fmix64`` calls and no Python arithmetic.
+    """
+    return mix64(seed), mix64(seed ^ _GOLDEN)
+
+
 def hash_pair_many(values: np.ndarray, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
     """Vectorised :func:`hash_pair` over non-negative word-sized integers.
 

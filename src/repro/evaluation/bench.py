@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 import time
 from typing import Callable
@@ -44,15 +45,20 @@ from repro.workloads.generators import generate_workload
 __all__ = ["run_benchmarks", "main"]
 
 
-def _time(fn: Callable[[], object], repeats: int = 3) -> tuple[float, object]:
-    """Return ``(best_seconds, last_result)`` over ``repeats`` runs."""
-    best = float("inf")
+def _time(fn: Callable[[], object], repeats: int = 5) -> tuple[float, object]:
+    """Return ``(median_seconds, last_result)`` over ``repeats`` runs.
+
+    The median is robust against one-off scheduler jitter in both
+    directions — unlike best-of-N, it cannot be bought by a single lucky
+    run, which matters once reports gate CI regressions.
+    """
+    samples: list[float] = []
     result = None
     for _ in range(repeats):
         start = time.perf_counter()
         result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples), result
 
 
 def run_benchmarks(
@@ -63,7 +69,7 @@ def run_benchmarks(
     bits_per_key: float = 12.0,
     key_dist: str = "uniform",
     query_family: str = "mixed",
-    repeats: int = 3,
+    repeats: int = 5,
 ) -> dict:
     """Run every section and return the JSON-ready report dict."""
     key_set, batch = generate_workload(
@@ -190,7 +196,10 @@ def main(argv: list[str] | None = None) -> int:
         "--query-family", default="mixed",
         choices=("uniform", "point", "correlated", "mixed"),
     )
-    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repeats per section; the median is reported",
+    )
     parser.add_argument("--output", default=None, help="write the JSON report here")
     parser.add_argument(
         "--min-speedup", type=float, default=0.0,

@@ -39,6 +39,7 @@ import sys
 
 import numpy as np
 
+from repro import kernels
 from repro.api import FilterSpec, Workload, family as family_entry
 from repro.evaluation.sweep import held_out_queries
 from repro.lsm import CostModel, LSMTree
@@ -362,24 +363,28 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     metrics = MetricsRegistry() if args.metrics_out else None
-    report = run_lsm_bench(
-        families=tuple(name for name in args.families.split(",") if name),
-        bits_per_key=args.bits_per_key,
-        num_keys=args.keys,
-        num_queries=args.queries,
-        num_eval_queries=args.eval_queries,
-        width=args.width,
-        seed=args.seed,
-        key_dist=args.key_dist,
-        query_family=args.query_family,
-        sst_keys=args.sst_keys,
-        fanout=args.fanout,
-        policy=args.policy,
-        cost_model=CostModel(args.block_read_cost, args.filter_probe_cost),
-        metrics=metrics,
-        trace_sample=args.trace_sample,
-        drift_batches=args.drift_batches,
-    )
+    kernels.attach_metrics(metrics)  # kernels.dispatch.{backend}.{kernel}
+    try:
+        report = run_lsm_bench(
+            families=tuple(name for name in args.families.split(",") if name),
+            bits_per_key=args.bits_per_key,
+            num_keys=args.keys,
+            num_queries=args.queries,
+            num_eval_queries=args.eval_queries,
+            width=args.width,
+            seed=args.seed,
+            key_dist=args.key_dist,
+            query_family=args.query_family,
+            sst_keys=args.sst_keys,
+            fanout=args.fanout,
+            policy=args.policy,
+            cost_model=CostModel(args.block_read_cost, args.filter_probe_cost),
+            metrics=metrics,
+            trace_sample=args.trace_sample,
+            drift_batches=args.drift_batches,
+        )
+    finally:
+        kernels.attach_metrics(None)
     rendered = json.dumps(report, indent=2, sort_keys=True)
     if args.output:
         with open(args.output, "w") as handle:

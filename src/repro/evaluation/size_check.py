@@ -38,6 +38,7 @@ import sys
 
 import numpy as np
 
+from repro import kernels
 from repro.api import FilterSpec, Workload, build_filter
 from repro.filters.base import TrieOracle
 from repro.filters.surf import SuRF
@@ -281,14 +282,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     metrics = MetricsRegistry() if args.metrics_out else None
-    report = run_size_check(
-        num_keys=args.keys,
-        num_queries=args.queries,
-        width=args.width,
-        seed=args.seed,
-        tolerance=args.tolerance,
-        metrics=metrics,
-    )
+    kernels.attach_metrics(metrics)  # kernels.dispatch.{backend}.{kernel}
+    try:
+        report = run_size_check(
+            num_keys=args.keys,
+            num_queries=args.queries,
+            width=args.width,
+            seed=args.seed,
+            tolerance=args.tolerance,
+            metrics=metrics,
+        )
+    finally:
+        kernels.attach_metrics(None)
     rendered = json.dumps(report, indent=2, sort_keys=True)
     if args.output:
         with open(args.output, "w") as handle:

@@ -33,6 +33,7 @@ import json
 import random
 import sys
 
+from repro import kernels
 from repro.api import FilterSpec, Workload, build_filter, family as family_entry
 from repro.filters.base import TrieOracle
 from repro.obs.metrics import MetricsRegistry, timed
@@ -252,18 +253,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     metrics = MetricsRegistry() if args.metrics_out else None
-    report = run_sweep(
-        families=tuple(name for name in args.families.split(",") if name),
-        grid=tuple(float(b) for b in args.grid.split(",") if b),
-        num_keys=args.keys,
-        num_queries=args.queries,
-        num_eval_queries=args.eval_queries,
-        width=args.width,
-        seed=args.seed,
-        key_dist=args.key_dist,
-        query_family=args.query_family,
-        metrics=metrics,
-    )
+    kernels.attach_metrics(metrics)  # kernels.dispatch.{backend}.{kernel}
+    try:
+        report = run_sweep(
+            families=tuple(name for name in args.families.split(",") if name),
+            grid=tuple(float(b) for b in args.grid.split(",") if b),
+            num_keys=args.keys,
+            num_queries=args.queries,
+            num_eval_queries=args.eval_queries,
+            width=args.width,
+            seed=args.seed,
+            key_dist=args.key_dist,
+            query_family=args.query_family,
+            metrics=metrics,
+        )
+    finally:
+        kernels.attach_metrics(None)
     rendered = json.dumps(report, indent=2, sort_keys=True)
     if args.output:
         with open(args.output, "w") as handle:

@@ -9,21 +9,23 @@ false positives arise whenever a query hits a pruned subtree that contains
 no key.
 
 The pruned prefix set is computed vectorised for word-sized key spaces
-(numpy LCPs + per-depth prefix dedup feeding
-:meth:`~repro.trie.node_trie.ByteTrie.from_sorted_prefix_free`; bit-identity
-to the scalar path is pinned in ``tests/test_batch_parity.py``) and the trie
-is stored one of two ways:
+(numpy LCPs + per-depth prefix dedup; bit-identity to the scalar path is
+pinned in ``tests/test_batch_parity.py``) and the trie is stored one of two
+ways:
 
 * ``physical=False`` (default): a pointer-based
   :class:`~repro.trie.node_trie.ByteTrie`, with the footprint its LOUDS-DS
   encoding *would* have reported via
   :func:`repro.trie.size_model.fst_size_estimate` — the paper's size
   accounting, as a model.
-* ``physical=True``: the trie is additionally encoded as a
+* ``physical=True``: the prefixes are encoded as a
   :class:`~repro.trie.fst.FastSuccinctTrie` (LOUDS-Dense top + LOUDS-Sparse
   bottom at the footprint-minimising cutoff); queries — scalar and batched —
   run on the succinct structure and ``size_in_bits()`` /
-  ``size_breakdown()`` report the *measured* bits actually stored.
+  ``size_breakdown()`` report the *measured* bits actually stored.  On the
+  vectorised path the LOUDS halves are built directly from the sorted
+  prefix list by :meth:`FastSuccinctTrie.from_sorted_prefix_bytes` (one
+  ``repro.kernels.trie_levels`` pass) without materialising a pointer trie.
 
 ``max_depth`` caps the trie depth in bytes — the knob the paper turns to
 trade SuRF's memory against its FPR.  Prefixes truncated by the cap may
@@ -76,13 +78,20 @@ class SuRF(RangeFilter):
             raise ValueError(f"trie depth {max_depth} outside [1, {num_bytes}]")
         self.max_depth = max_depth
         self.physical = physical
+        self._trie: ByteTrie | None
+        self._fst: FastSuccinctTrie | None
         if vectorize and width <= MAX_VECTOR_WIDTH:
-            self._trie = self._build_trie_vector(keys, width, max_depth, num_bytes)
+            prefixes = self._vector_prefixes(keys, width, max_depth, num_bytes)
+            if physical:
+                # Kernel-backed bulk build: the LOUDS halves come straight
+                # from the sorted prefix list — no pointer trie at all.
+                self._trie = None
+                self._fst = FastSuccinctTrie.from_sorted_prefix_bytes(prefixes)
+                return
+            self._trie = ByteTrie.from_sorted_prefix_free(prefixes)
         else:
             self._trie = self._build_trie_scalar(keys, width, max_depth, num_bytes)
-        self._fst: FastSuccinctTrie | None = (
-            FastSuccinctTrie.from_byte_trie(self._trie) if physical else None
-        )
+        self._fst = FastSuccinctTrie.from_byte_trie(self._trie) if physical else None
 
     def _build_trie_scalar(
         self, keys, width: int, max_depth: int, num_bytes: int
@@ -105,20 +114,20 @@ class SuRF(RangeFilter):
             prefixes.add(key_to_bytes(key, width)[: max(1, depth)])
         return ByteTrie(prefixes)
 
-    def _build_trie_vector(
+    def _vector_prefixes(
         self, keys, width: int, max_depth: int, num_bytes: int
-    ) -> ByteTrie:
-        """Build the same pruned trie on the numpy bulk path.
+    ) -> list[bytes]:
+        """Compute the sorted pruned-prefix list on the numpy bulk path.
 
         LCPs, distinguishing lengths and byte depths come from vectorised
         array arithmetic; per depth, the distinct prefix *integers* are
-        deduplicated before any bytes object is materialised; and the
-        sorted prefix list feeds :meth:`ByteTrie.from_sorted_prefix_free`.
-        Capped-depth collisions dedup to equal strings and a natural
-        (uncapped) distinguishing prefix is never a prefix of another
-        key's, so the merged set is prefix-free up to the covering rule the
-        bulk builder applies — the result is structurally identical to the
-        scalar path's trie.
+        deduplicated before any bytes object is materialised.  Capped-depth
+        collisions dedup to equal strings and a natural (uncapped)
+        distinguishing prefix is never a prefix of another key's, so the
+        merged sorted list is prefix-free up to the covering rule the bulk
+        builders (:meth:`ByteTrie.from_sorted_prefix_free` /
+        :meth:`FastSuccinctTrie.from_sorted_prefix_bytes`) apply — either
+        consumer yields a structure identical to the scalar path's trie.
         """
         if isinstance(keys, EncodedKeySet) and keys.is_vector:
             arr = keys.keys
@@ -140,7 +149,7 @@ class SuRF(RangeFilter):
             for value in np.unique(arr[depths == depth] >> shift).tolist():
                 prefixes.append(int(value).to_bytes(depth, "big"))
         prefixes.sort()
-        return ByteTrie.from_sorted_prefix_free(prefixes)
+        return prefixes
 
     @classmethod
     def from_spec(cls, spec, keys=None, workload=None) -> "SuRF":
@@ -186,6 +195,7 @@ class SuRF(RangeFilter):
         encoded = key_to_bytes(key, self.width)
         if self._fst is not None:
             return self._fst.match_prefix_of(encoded)
+        assert self._trie is not None
         return self._trie.match_prefix_of(encoded) is not None
 
     def may_intersect(self, lo: int, hi: int) -> bool:
@@ -196,6 +206,7 @@ class SuRF(RangeFilter):
         hi_bytes = key_to_bytes(hi, self.width)
         if self._fst is not None:
             return self._fst.range_overlaps(lo_bytes, hi_bytes)
+        assert self._trie is not None
         return self._trie.range_overlaps(lo_bytes, hi_bytes)
 
     def may_contain_many(self, keys) -> np.ndarray:
@@ -222,6 +233,9 @@ class SuRF(RangeFilter):
 
     def trie_height(self) -> int:
         """Return the pruned trie's height in bytes."""
+        if self._trie is None:
+            assert self._fst is not None
+            return self._fst.height
         return self._trie.height
 
     def size_in_bits(self) -> int:
@@ -237,6 +251,9 @@ class SuRF(RangeFilter):
 
     def modelled_size_in_bits(self) -> int:
         """Return the size model's LOUDS-DS estimate, physical or not."""
+        if self._trie is None:
+            assert self._fst is not None
+            return self._fst.modelled_size_in_bits()
         edges, internal_nodes = self._trie.level_counts()
         return fst_size_estimate(edges, internal_nodes)
 
@@ -249,6 +266,6 @@ class SuRF(RangeFilter):
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SuRF(keys={self.num_keys}, width={self.width}, "
-            f"max_depth={self.max_depth}, height={self._trie.height}, "
+            f"max_depth={self.max_depth}, height={self.trie_height()}, "
             f"physical={self.physical})"
         )

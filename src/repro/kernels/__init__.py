@@ -1,0 +1,246 @@
+"""Compiled hot kernels behind a pluggable backend registry.
+
+The batched numpy execution layer (PR 2) left three loops numpy cannot
+fuse: the per-hash Bloom probe round-trips, the rank+get pair inside every
+LOUDS traversal step, and the per-node Python walks of the trie builders.
+This package exposes those loops as pure-function *kernels* served by one
+of several backends:
+
+* ``numpy`` — the vectorised reference implementation, always available;
+  it defines kernel semantics and every other backend must match it
+  bit for bit (``tests/test_kernels.py`` pins this).
+* ``numba`` — JIT-compiled loops, available when the optional ``numba``
+  extra is installed (``pip install proteus-repro[kernels]``).
+* ``cc`` — the same loops as plain C, compiled on demand with the system
+  C compiler and loaded via ctypes; available wherever a toolchain is.
+
+Selection: an explicit ``backend=`` argument wins, then the
+``REPRO_KERNEL_BACKEND`` environment variable, then the preference order
+``numba > cc > numpy``.  Naming a *known but unavailable* backend falls
+back silently (the documented "numba absent" contract); naming an unknown
+backend raises, because that is always a typo.
+
+>>> import repro.kernels as kernels
+>>> "numpy" in kernels.available_backends()
+True
+>>> kernels.get_backend_name("no-such-backend")  # doctest: +IGNORE_EXCEPTION_DETAIL
+Traceback (most recent call last):
+ValueError: unknown kernel backend 'no-such-backend'...
+
+Observability: :func:`attach_metrics` registers per-dispatch counters
+``kernels.dispatch.{backend}.{kernel}`` on a
+:class:`repro.obs.metrics.MetricsRegistry`, so instrumented runs report
+which backend actually served each hot path.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+import numpy as np
+
+from repro.kernels import _numpy_backend
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "ENV_VAR",
+    "available_backends",
+    "get_backend_name",
+    "use_backend",
+    "attach_metrics",
+    "bloom_positions",
+    "bloom_add",
+    "bloom_contains",
+    "bitvector_get_rank1",
+    "trie_levels",
+]
+
+#: Environment variable naming the default backend for the process.
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+#: Resolution order when nothing is requested explicitly.
+_PREFERENCE = ("numba", "cc", "numpy")
+
+
+def _load_numba():
+    from repro.kernels import _numba_backend
+
+    return _numba_backend.load()
+
+
+def _load_cc():
+    from repro.kernels import _cc_backend
+
+    return _cc_backend.load()
+
+
+_LOADERS: dict[str, Callable[[], Any]] = {
+    "numpy": lambda: _numpy_backend,
+    "numba": _load_numba,
+    "cc": _load_cc,
+}
+
+_loaded: dict[str, Any] = {}
+_forced: Any = None  # use_backend() override
+_default: Any = None  # cached env/preference resolution
+_metrics: "MetricsRegistry | None" = None
+
+
+def _backend(name: str):
+    """Load (once) and return the backend called ``name``, or ``None``."""
+    if name not in _LOADERS:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; known: {sorted(_LOADERS)}"
+        )
+    if name not in _loaded:
+        _loaded[name] = _LOADERS[name]()
+    return _loaded[name]
+
+
+def available_backends() -> tuple[str, ...]:
+    """Return the names of every backend that loads in this environment.
+
+    ``numpy`` is always present; ``numba``/``cc`` appear when their
+    toolchains do.  Order follows the resolution preference.
+    """
+    return tuple(n for n in _PREFERENCE if _backend(n) is not None)
+
+
+def _resolve(name: str | None):
+    """Return the backend object serving a dispatch.
+
+    Explicit ``name`` wins (silently falling back to numpy when that
+    backend is known but unavailable); otherwise the :func:`use_backend`
+    override, then the cached ``REPRO_KERNEL_BACKEND``/preference default.
+    """
+    global _default
+    if name is not None:
+        return _backend(name) or _backend("numpy")
+    if _forced is not None:
+        return _forced
+    if _default is None:
+        requested = os.environ.get(ENV_VAR)
+        if requested:
+            _default = _backend(requested) or _backend("numpy")
+        else:
+            for candidate in _PREFERENCE:
+                backend = _backend(candidate)
+                if backend is not None:
+                    _default = backend
+                    break
+    return _default
+
+
+def get_backend_name(name: str | None = None) -> str:
+    """Return the name of the backend a dispatch would use right now."""
+    return _resolve(name).name
+
+
+def reset_default_backend() -> None:
+    """Drop the cached default so ``REPRO_KERNEL_BACKEND`` is re-read."""
+    global _default
+    _default = None
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Force every dispatch in the ``with`` body onto backend ``name``.
+
+    The usual silent-fallback rule applies: a known but unavailable
+    backend resolves to numpy.  Yields the name actually in force.
+    """
+    global _forced
+    previous = _forced
+    _forced = _backend(name) or _backend("numpy")
+    try:
+        yield _forced.name
+    finally:
+        _forced = previous
+
+
+def attach_metrics(metrics: "MetricsRegistry | None") -> None:
+    """Count every dispatch as ``kernels.dispatch.{backend}.{kernel}``.
+
+    Pass ``None`` to detach.  The disabled path costs one ``is None``
+    check per kernel call — the same contract as the rest of ``repro.obs``.
+    """
+    global _metrics
+    _metrics = metrics
+
+
+def _count(backend_name: str, kernel: str) -> None:
+    if _metrics is not None:
+        _metrics.inc(f"kernels.dispatch.{backend_name}.{kernel}")
+
+
+# --------------------------------------------------------------------- #
+# Kernel entry points                                                   #
+# --------------------------------------------------------------------- #
+
+
+def bloom_positions(
+    values: np.ndarray, s1: int, s2: int, num_bits: int, k: int,
+    backend: str | None = None,
+) -> np.ndarray:
+    """Return the ``(k, n)`` Bloom probe-position matrix (uint64).
+
+    ``s1``/``s2`` are the pre-mixed double-hashing seeds.  Served by the
+    numpy reference on every backend — the compiled backends fuse the
+    positions into :func:`bloom_add`/:func:`bloom_contains` instead of
+    materialising the matrix.
+    """
+    resolved = _resolve(backend)
+    impl = getattr(resolved, "bloom_positions", None)
+    if impl is None:
+        resolved = _backend("numpy")
+        impl = resolved.bloom_positions
+    _count(resolved.name, "bloom_positions")
+    return impl(values, s1, s2, num_bits, k)
+
+
+def bloom_add(
+    buffer: np.ndarray, num_bits: int, values: np.ndarray,
+    s1: int, s2: int, k: int, backend: str | None = None,
+) -> None:
+    """Insert hashed ``values`` into the packed bit ``buffer`` in place."""
+    resolved = _resolve(backend)
+    _count(resolved.name, "bloom_add")
+    resolved.bloom_add(buffer, num_bits, values, s1, s2, k)
+
+
+def bloom_contains(
+    buffer: np.ndarray, num_bits: int, values: np.ndarray,
+    s1: int, s2: int, k: int, backend: str | None = None,
+) -> np.ndarray:
+    """Return one bool per value: every probe position set in ``buffer``."""
+    resolved = _resolve(backend)
+    _count(resolved.name, "bloom_contains")
+    return resolved.bloom_contains(buffer, num_bits, values, s1, s2, k)
+
+
+def bitvector_get_rank1(
+    buffer: np.ndarray, cumulative: np.ndarray, num_bits: int,
+    positions: np.ndarray, backend: str | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fused LOUDS step: ``(bit at pos, rank1(pos + 1))`` per position."""
+    resolved = _resolve(backend)
+    _count(resolved.name, "bitvector_get_rank1")
+    return resolved.bitvector_get_rank1(buffer, cumulative, num_bits, positions)
+
+
+def trie_levels(
+    mat: np.ndarray, lengths: np.ndarray, backend: str | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-level edge arrays of a sorted prefix-free byte-string matrix.
+
+    Returns ``(labels, parents, leaves, edge_counts, group_counts)``; see
+    :func:`repro.kernels._numpy_backend.trie_levels` for the exact
+    contract the succinct-trie encoders consume.
+    """
+    resolved = _resolve(backend)
+    _count(resolved.name, "trie_levels")
+    return resolved.trie_levels(mat, lengths)

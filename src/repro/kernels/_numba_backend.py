@@ -1,0 +1,193 @@
+"""The ``numba`` backend: JIT-compiled kernels, optional at runtime.
+
+numba is an *extras* dependency (``pip install proteus-repro[kernels]``);
+when it is not importable :func:`load` returns ``None`` and the registry
+silently falls back, so a numpy-only environment never notices this module.
+The jitted loops mirror ``_ckernels.c`` statement for statement — the same
+fmix64 finaliser, probe recurrence and level pass — so results stay
+bit-identical to the numpy reference backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+name = "numba"
+
+
+def _build_kernels():
+    """Compile the jitted kernel set; raises when numba is unusable."""
+    from numba import njit
+
+    @njit(cache=False)
+    def _fmix64(v):
+        v ^= v >> np.uint64(33)
+        v *= np.uint64(0xFF51AFD7ED558CCD)
+        v ^= v >> np.uint64(33)
+        v *= np.uint64(0xC4CEB9FE1A85EC53)
+        v ^= v >> np.uint64(33)
+        return v
+
+    @njit(cache=False)
+    def bloom_add(buffer, num_bits, values, s1, s2, k):
+        m = np.uint64(num_bits)
+        for j in range(values.size):
+            v = values[j]
+            x = _fmix64(v ^ s1) % m
+            y = (_fmix64(v ^ s2) | np.uint64(1)) % m
+            buffer[x >> np.uint64(3)] |= np.uint8(128) >> np.uint8(x & np.uint64(7))
+            for i in range(1, k):
+                x = (x + y) % m
+                y = (y + np.uint64(i)) % m
+                buffer[x >> np.uint64(3)] |= (
+                    np.uint8(128) >> np.uint8(x & np.uint64(7))
+                )
+
+    @njit(cache=False)
+    def bloom_contains(buffer, num_bits, values, s1, s2, k, out):
+        m = np.uint64(num_bits)
+        for j in range(values.size):
+            v = values[j]
+            x = _fmix64(v ^ s1) % m
+            y = (_fmix64(v ^ s2) | np.uint64(1)) % m
+            hit = (
+                buffer[x >> np.uint64(3)] >> np.uint8(7 - (x & np.uint64(7)))
+            ) & np.uint8(1)
+            for i in range(1, k):
+                if not hit:
+                    break
+                x = (x + y) % m
+                y = (y + np.uint64(i)) % m
+                hit = (
+                    buffer[x >> np.uint64(3)] >> np.uint8(7 - (x & np.uint64(7)))
+                ) & np.uint8(1)
+            out[j] = hit
+
+    @njit(cache=False)
+    def bitvector_get_rank1(buffer, cumulative, num_bits, positions, bits, ranks):
+        for j in range(positions.size):
+            p = positions[j]
+            bits[j] = (buffer[p >> 3] >> np.uint8(7 - (p & 7))) & np.uint8(1)
+            q = p + 1
+            full = q >> 3
+            part = q & 7
+            r = cumulative[full]
+            if part:
+                masked = buffer[full] & np.uint8((0xFF00 >> part) & 0xFF)
+                while masked:
+                    r += 1
+                    masked &= np.uint8(masked - np.uint8(1))
+            ranks[j] = r
+
+    @njit(cache=False)
+    def trie_levels(mat, lengths, labels_out, parent_out, leaf_out,
+                    edge_counts, group_counts, grp, idx):
+        n, height = mat.shape
+        nact = 0
+        for i in range(n):
+            if lengths[i] > 0:
+                idx[nact] = i
+                grp[nact] = 0
+                nact += 1
+        out_pos = 0
+        for level in range(height):
+            edge_counts[level] = 0
+            group_counts[level] = 0
+            if nact == 0:
+                continue
+            edge_id = -1
+            ngroups = 0
+            prev_grp = -1
+            prev_byte = np.uint8(0)
+            next_nact = 0
+            for a in range(nact):
+                i = idx[a]
+                g = grp[a]
+                byte = mat[i, level]
+                if g != prev_grp:
+                    ngroups += 1
+                if g != prev_grp or byte != prev_byte:
+                    edge_id += 1
+                    labels_out[out_pos + edge_id] = byte
+                    parent_out[out_pos + edge_id] = ngroups - 1
+                    leaf_out[out_pos + edge_id] = lengths[i] == level + 1
+                prev_grp = g
+                prev_byte = byte
+                if lengths[i] > level + 1:
+                    idx[next_nact] = i
+                    grp[next_nact] = edge_id
+                    next_nact += 1
+            edge_counts[level] = edge_id + 1
+            group_counts[level] = ngroups
+            out_pos += edge_id + 1
+            nact = next_nact
+        return out_pos
+
+    return bloom_add, bloom_contains, bitvector_get_rank1, trie_levels
+
+
+class _NumbaBackend:
+    """Kernel entry points over the jitted loops (numpy in/out at the edge)."""
+
+    name = "numba"
+
+    def __init__(self):
+        (self._bloom_add, self._bloom_contains,
+         self._bitvector_get_rank1, self._trie_levels) = _build_kernels()
+        # Force one tiny compilation now so availability failures surface
+        # at load time (and fall back) instead of mid-probe.
+        probe = np.zeros(1, dtype=np.uint8)
+        self._bloom_contains(
+            probe, np.uint64(8), np.zeros(1, dtype=np.uint64),
+            np.uint64(1), np.uint64(2), 1, np.empty(1, dtype=np.uint8),
+        )
+
+    def bloom_add(self, buffer, num_bits, values, s1, s2, k):
+        v = np.ascontiguousarray(np.asarray(values).astype(np.uint64, copy=False))
+        self._bloom_add(
+            buffer, np.uint64(num_bits), v, np.uint64(s1), np.uint64(s2), int(k)
+        )
+
+    def bloom_contains(self, buffer, num_bits, values, s1, s2, k):
+        v = np.ascontiguousarray(np.asarray(values).astype(np.uint64, copy=False))
+        out = np.empty(v.size, dtype=np.uint8)
+        self._bloom_contains(
+            buffer, np.uint64(num_bits), v, np.uint64(s1), np.uint64(s2), int(k), out
+        )
+        return out.view(bool)
+
+    def bitvector_get_rank1(self, buffer, cumulative, num_bits, positions):
+        pos = np.ascontiguousarray(positions, dtype=np.int64)
+        bits = np.empty(pos.size, dtype=np.uint8)
+        ranks = np.empty(pos.size, dtype=np.int64)
+        self._bitvector_get_rank1(buffer, cumulative, int(num_bits), pos, bits, ranks)
+        return bits.view(bool), ranks
+
+    def trie_levels(self, mat, lengths):
+        mat = np.ascontiguousarray(mat, dtype=np.uint8)
+        lengths = np.ascontiguousarray(lengths, dtype=np.int64)
+        n, height = mat.shape
+        capacity = max(1, int(lengths.sum()))
+        labels = np.empty(capacity, dtype=np.uint8)
+        parents = np.empty(capacity, dtype=np.int64)
+        leaves = np.empty(capacity, dtype=np.uint8)
+        edge_counts = np.zeros(height, dtype=np.int64)
+        group_counts = np.zeros(height, dtype=np.int64)
+        grp = np.empty(max(1, n), dtype=np.int64)
+        idx = np.empty(max(1, n), dtype=np.int64)
+        total = self._trie_levels(
+            mat, lengths, labels, parents, leaves, edge_counts, group_counts,
+            grp, idx,
+        )
+        return (
+            labels[:total].copy(), parents[:total].copy(),
+            leaves[:total].view(bool).copy(), edge_counts, group_counts,
+        )
+
+
+def load() -> _NumbaBackend | None:
+    """Build the jitted backend; ``None`` when numba is absent or broken."""
+    try:
+        return _NumbaBackend()
+    except Exception:  # numba not installed, or JIT unavailable on platform
+        return None

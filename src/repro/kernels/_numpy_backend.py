@@ -1,0 +1,128 @@
+"""The numpy reference backend: always available, defines kernel semantics.
+
+Every other backend must return bit-identical results to these
+implementations (pinned by ``tests/test_kernels.py``); they are the exact
+vectorised code the hot paths ran before the kernel layer existed, moved
+here verbatim so the dispatch indirection never changes an answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amq.hashing import mix64_many
+
+name = "numpy"
+
+_BIT_MASKS = np.array([1 << (7 - i) for i in range(8)], dtype=np.uint8)
+_POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint32)
+
+
+def bloom_positions(values: np.ndarray, s1: int, s2: int, num_bits: int, k: int) -> np.ndarray:
+    """Return the ``(k, n)`` enhanced-double-hashing probe-position matrix.
+
+    ``s1``/``s2`` are the pre-mixed seeds (``mix64(seed)`` and
+    ``mix64(seed ^ GOLDEN)``); all intermediates stay below 2**64 because
+    ``x, y < num_bits``, so uint64 wrap-around matches the scalar path.
+    """
+    v = np.asarray(values).astype(np.uint64)
+    h1 = mix64_many(v ^ np.uint64(s1))
+    h2 = mix64_many(v ^ np.uint64(s2)) | np.uint64(1)
+    m = np.uint64(num_bits)
+    x, y = h1 % m, h2 % m
+    out = np.empty((k, v.shape[0]), dtype=np.uint64)
+    out[0] = x
+    for i in range(1, k):
+        x = (x + y) % m
+        y = (y + np.uint64(i)) % m
+        out[i] = x
+    return out
+
+
+def bloom_add(buffer: np.ndarray, num_bits: int, values: np.ndarray,
+              s1: int, s2: int, k: int) -> None:
+    """Set every probe position of every value in the packed bit buffer."""
+    positions = bloom_positions(values, s1, s2, num_bits, k)
+    idx = positions.ravel().astype(np.int64)
+    np.bitwise_or.at(buffer, idx >> 3, _BIT_MASKS[idx & 7])
+
+
+def bloom_contains(buffer: np.ndarray, num_bits: int, values: np.ndarray,
+                   s1: int, s2: int, k: int) -> np.ndarray:
+    """Return one boolean per value: all k probe positions set."""
+    positions = bloom_positions(values, s1, s2, num_bits, k)
+    idx = positions.ravel().astype(np.int64)
+    probed = (buffer[idx >> 3] & _BIT_MASKS[idx & 7]) != 0
+    return probed.reshape(positions.shape).all(axis=0)
+
+
+def bitvector_get_rank1(buffer: np.ndarray, cumulative: np.ndarray,
+                        num_bits: int, positions: np.ndarray
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Fused LOUDS step: ``(bit at pos, rank1(pos + 1))`` per position.
+
+    ``cumulative[b]`` is the popcount of bytes ``[0, b)``; positions must
+    already be validated into ``[0, num_bits)`` by the caller.
+    """
+    idx = positions
+    bits = (buffer[idx >> 3] & _BIT_MASKS[idx & 7]) != 0
+    q = idx + 1
+    full = q >> 3
+    part = q & 7
+    counts = cumulative[full]
+    if buffer.size:
+        safe = np.minimum(full, buffer.size - 1)
+        masks = ((0xFF00 >> part) & 0xFF).astype(np.uint8)
+        counts = counts + _POPCOUNT_TABLE[buffer[safe] & masks]
+    return bits, counts.astype(np.int64)
+
+
+def trie_levels(mat: np.ndarray, lengths: np.ndarray
+                ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-level edge arrays of a sorted, distinct, prefix-free string set.
+
+    ``mat`` is the ``(n, H)`` zero-padded byte matrix of the strings (rows
+    in lexicographic order), ``lengths`` the per-row byte lengths.  Returns
+    ``(labels, parents, leaves, edge_counts, group_counts)`` — level-major
+    flat edge arrays plus per-level edge and internal-node counts — exactly
+    the quantities the LOUDS-Dense/Sparse encoders consume.  One vector
+    pass per level: group boundaries come from adjacent-row comparisons,
+    which sorted order makes sufficient.
+    """
+    n, height = mat.shape
+    label_parts: list[np.ndarray] = []
+    parent_parts: list[np.ndarray] = []
+    leaf_parts: list[np.ndarray] = []
+    edge_counts = np.zeros(height, dtype=np.int64)
+    group_counts = np.zeros(height, dtype=np.int64)
+    idx = np.nonzero(lengths > 0)[0]
+    grp = np.zeros(idx.size, dtype=np.int64)
+    for level in range(height):
+        if idx.size == 0:
+            break
+        byte = mat[idx, level]
+        new_grp = np.empty(idx.size, dtype=bool)
+        new_grp[0] = True
+        np.not_equal(grp[1:], grp[:-1], out=new_grp[1:])
+        boundary = new_grp.copy()
+        boundary[1:] |= byte[1:] != byte[:-1]
+        edge_id = np.cumsum(boundary) - 1
+        group_id = np.cumsum(new_grp) - 1
+        first = np.nonzero(boundary)[0]
+        label_parts.append(byte[first].astype(np.uint8))
+        parent_parts.append(group_id[first])
+        leaf_parts.append(lengths[idx[first]] == level + 1)
+        edge_counts[level] = first.size
+        group_counts[level] = int(group_id[-1]) + 1
+        keep = lengths[idx] > level + 1
+        idx = idx[keep]
+        grp = edge_id[keep]
+    if label_parts:
+        labels = np.concatenate(label_parts)
+        parents = np.concatenate(parent_parts)
+        leaves = np.concatenate(leaf_parts)
+    else:
+        labels = np.zeros(0, dtype=np.uint8)
+        parents = np.zeros(0, dtype=np.int64)
+        leaves = np.zeros(0, dtype=bool)
+    return labels, parents, leaves, edge_counts, group_counts

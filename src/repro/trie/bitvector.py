@@ -14,6 +14,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.amq.bitarray import BitArray
 
 _BLOCK_BYTES = 64  # 512-bit rank blocks.
@@ -110,6 +111,23 @@ class RankSelectBitVector:
             masks = ((0xFF00 >> partial) & 0xFF).astype(np.uint8)
             counts = counts + _POPCOUNT_TABLE[buffer[safe] & masks]
         return counts.astype(np.int64)
+
+    def get_and_rank1_many(self, indices) -> tuple[np.ndarray, np.ndarray]:
+        """Fused LOUDS step: ``(bit at i, rank1(i + 1))`` for every index.
+
+        One kernel pass instead of a :meth:`get_many` + :meth:`rank1_many`
+        pair — the inner loop of every batched LOUDS-Dense/Sparse
+        traversal step.  Every index must be in ``[0, num_bits)`` (no
+        clipping: traversals only ever ask about positions they hold).
+        """
+        idx = np.asarray(indices, dtype=np.int64).ravel()
+        if idx.size == 0:
+            return np.zeros(0, dtype=bool), np.zeros(0, dtype=np.int64)
+        if idx.min() < 0 or idx.max() >= self.num_bits:
+            raise IndexError("bit index out of range in get_and_rank1_many")
+        return kernels.bitvector_get_rank1(
+            self._byte_buffer, self._byte_cumulative, self.num_bits, idx
+        )
 
     def select1(self, rank: int) -> int:
         """Return the position of the ``rank``-th set bit (1-indexed)."""

@@ -32,10 +32,11 @@ True
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.amq.bitarray import BitArray
 from repro.trie.louds_dense import LoudsDenseTrie
 from repro.trie.louds_sparse import LoudsSparseTrie
@@ -106,8 +107,100 @@ class FastSuccinctTrie:
     def from_prefixes(
         cls, prefixes: Iterable[bytes], cutoff: int | None = None
     ) -> "FastSuccinctTrie":
-        """Build from an iterable of byte-string prefixes (via a ByteTrie)."""
-        return cls.from_byte_trie(ByteTrie(prefixes), cutoff)
+        """Build from an iterable of byte-string prefixes (any order).
+
+        Input is sorted and deduplicated, then routed through the
+        kernel-backed bulk builder — structurally identical to the
+        historical ``from_byte_trie(ByteTrie(prefixes))`` path without
+        materialising a pointer trie.
+        """
+        return cls.from_sorted_prefix_bytes(
+            sorted(set(bytes(p) for p in prefixes)), cutoff
+        )
+
+    @classmethod
+    def from_sorted_prefix_bytes(
+        cls, prefixes: Sequence[bytes], cutoff: int | None = None
+    ) -> "FastSuccinctTrie":
+        """Bulk-build from sorted byte-string prefixes, vectorised.
+
+        Input must be in ascending lexicographic order with no duplicates
+        (the layout SuRF's vectorised prefix extraction produces); a string
+        extending an earlier, shorter one is dropped by the same covering
+        rule as :meth:`ByteTrie.from_sorted_prefix_free`.  The whole trie
+        shape — per-level edge labels, parent groups and leaf flags — then
+        falls out of one :func:`repro.kernels.trie_levels` pass over the
+        padded byte matrix, and both LOUDS halves are assembled with array
+        arithmetic.  The result is bit-identical to
+        ``from_byte_trie(ByteTrie(prefixes))`` on the same input, with no
+        pointer trie and no per-node Python walk.
+        """
+        kept: list[bytes] = []
+        previous = b""
+        for prefix in prefixes:
+            if not prefix:
+                raise ValueError("cannot insert an empty prefix")
+            if previous and prefix[: len(previous)] == previous:
+                continue  # covered by the previously kept (shorter) prefix
+            kept.append(prefix)
+            previous = prefix
+        if not kept:
+            return cls(None, None, 0, 0, 0, [], [1])
+        n = len(kept)
+        lengths = np.fromiter((len(p) for p in kept), dtype=np.int64, count=n)
+        height = int(lengths.max())
+        offsets = np.concatenate(([0], np.cumsum(lengths)))
+        flat = np.frombuffer(b"".join(kept), dtype=np.uint8)
+        mat = np.zeros((n, height), dtype=np.uint8)
+        rows = np.repeat(np.arange(n, dtype=np.int64), lengths)
+        cols = np.arange(flat.size, dtype=np.int64) - np.repeat(
+            offsets[:-1], lengths
+        )
+        mat[rows, cols] = flat
+        labels, parents, leaves, edge_counts, group_counts = kernels.trie_levels(
+            mat, lengths
+        )
+        edges = edge_counts.tolist()
+        internal = group_counts.tolist()
+        if cutoff is None:
+            cutoff, _ = fst_prefix_cutoff(edges, internal)
+        if not 0 <= cutoff <= height:
+            raise ValueError(f"dense cutoff {cutoff} outside [0, {height}]")
+        edge_offsets = np.concatenate(([0], np.cumsum(edge_counts)))
+        node_offsets = np.concatenate(([0], np.cumsum(group_counts)))
+        dense = None
+        if cutoff > 0:
+            end = int(edge_offsets[cutoff])
+            level_of = np.repeat(
+                np.arange(cutoff, dtype=np.int64), edge_counts[:cutoff]
+            )
+            pos = (node_offsets[level_of] + parents[:end]) * _FANOUT + labels[
+                :end
+            ].astype(np.int64)
+            dense = LoudsDenseTrie.from_positions(
+                pos, pos[~leaves[:end]], int(node_offsets[cutoff])
+            )
+        sparse = None
+        if cutoff < height:
+            start = int(edge_offsets[cutoff])
+            flat_labels = labels[start:]
+            par = parents[start:]
+            level_of = np.repeat(
+                np.arange(cutoff, height, dtype=np.int64), edge_counts[cutoff:]
+            )
+            # First edge of each node: parent ids restart per level, so a
+            # node boundary is a parent change *or* a level change.
+            first = np.empty(par.size, dtype=bool)
+            first[0] = True
+            first[1:] = (par[1:] != par[:-1]) | (level_of[1:] != level_of[:-1])
+            child_bits = BitArray(flat_labels.size)
+            child_bits.set_many(np.nonzero(~leaves[start:])[0])
+            louds_bits = BitArray(flat_labels.size)
+            louds_bits.set_many(np.nonzero(first)[0])
+            sparse = LoudsSparseTrie(
+                flat_labels, child_bits, louds_bits, int(group_counts[cutoff])
+            )
+        return cls(dense, sparse, cutoff, height, n, edges, internal)
 
     @classmethod
     def from_byte_trie(

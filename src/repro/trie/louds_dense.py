@@ -120,9 +120,10 @@ class LoudsDenseTrie:
         """
         pos = nodes * FANOUT + labels
         exists = self._labels.get_many(pos)
-        is_leaf = ~self._has_child.get_many(pos)
-        child = self._has_child.rank1_many(pos + 1)
-        return exists, is_leaf, child
+        # One fused kernel pass over D-HasChild: the bit at pos decides
+        # leaf-ness and rank1(pos + 1) is the child id.
+        has_child, child = self._has_child.get_and_rank1_many(pos)
+        return exists, ~has_child, child
 
     def any_label_between(self, node: int, lo: int, hi: int) -> bool:
         """Return whether ``node`` has an edge labelled in ``[lo, hi]``.

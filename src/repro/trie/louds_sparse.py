@@ -121,9 +121,11 @@ class LoudsSparseTrie:
             empty = np.zeros(nodes.shape, dtype=bool)
             return empty, empty, np.zeros(nodes.shape, dtype=np.int64)
         exists = (pos < self._comp.size) & (self._comp[safe] == targets)
-        is_leaf = ~self._has_child.get_many(safe)
-        child = self.num_roots + self._has_child.rank1_many(safe + 1) - 1
-        return exists, is_leaf, child
+        # One fused kernel pass over S-HasChild: the bit at the edge slot
+        # decides leaf-ness and rank1(slot + 1) rebases to the child id.
+        has_child, rank = self._has_child.get_and_rank1_many(safe)
+        child = self.num_roots + rank - 1
+        return exists, ~has_child, child
 
     def any_label_between(self, node: int, lo: int, hi: int) -> bool:
         """Return whether ``node`` has an edge labelled in ``[lo, hi]``.

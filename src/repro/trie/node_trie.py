@@ -58,6 +58,11 @@ class ByteTrie:
         subtree, so comparing against the last *kept* leaf suffices.  The
         result is structurally identical to ``ByteTrie(prefixes)`` at
         O(total bytes) cost with no per-level dict walks.
+
+        When only the succinct encoding is wanted, skip this class
+        entirely: :meth:`FastSuccinctTrie.from_sorted_prefix_bytes` derives
+        the LOUDS halves from the same sorted input in one
+        ``repro.kernels.trie_levels`` pass, without pointer nodes.
         """
         trie = cls()
         stack = [trie.root]  # stack[d] = node at depth d on the current path

@@ -12,6 +12,12 @@ Three layers of parity are pinned:
 * Algorithm 1 picks the *identical design point* through either model on
   seeded workloads (expected FPR may differ in the last ulps — the design
   fields must match exactly).
+
+Since PR 7 the batched paths dispatch through ``repro.kernels``; the
+filter-parity tests therefore run once per *available backend* (forced via
+``kernels.use_backend``), and a dedicated cross-backend test pins that
+every backend builds byte-identical structures, returns identical batch
+answers, and leads Algorithm 1 to the identical design point.
 """
 
 import random
@@ -19,6 +25,7 @@ import random
 import numpy as np
 import pytest
 
+import repro.kernels as kernels
 from conftest import correlated_queries, mixed_queries, random_keys
 from repro.amq.bloom import BloomFilter
 from repro.core.cpfpr import CPFPRModel
@@ -67,16 +74,59 @@ FILTER_FACTORIES = {
 }
 
 
+@pytest.mark.parametrize("backend", kernels.available_backends())
 @pytest.mark.parametrize("name", sorted(FILTER_FACTORIES))
-def test_filter_batch_equals_scalar_loop(name, workload):
+def test_filter_batch_equals_scalar_loop(name, backend, workload):
     keys, queries, probes = workload
-    filt = FILTER_FACTORIES[name](keys, queries)
-    point_batch = filt.may_contain_many(np.array(probes, dtype=np.int64))
-    point_loop = [filt.may_contain(key) for key in probes]
+    with kernels.use_backend(backend):
+        filt = FILTER_FACTORIES[name](keys, queries)
+        point_batch = filt.may_contain_many(np.array(probes, dtype=np.int64))
+        point_loop = [filt.may_contain(key) for key in probes]
+        range_batch = filt.may_intersect_many(QueryBatch.from_pairs(queries, WIDTH))
+        range_loop = [filt.may_intersect(lo, hi) for lo, hi in queries]
     assert point_batch.dtype == bool and list(point_batch) == point_loop, name
-    range_batch = filt.may_intersect_many(QueryBatch.from_pairs(queries, WIDTH))
-    range_loop = [filt.may_intersect(lo, hi) for lo, hi in queries]
     assert range_batch.dtype == bool and list(range_batch) == range_loop, name
+
+
+def _backend_snapshot(keys, queries, probes) -> dict:
+    """Everything a kernel backend touches, reduced to comparable bytes."""
+    point = np.array(probes, dtype=np.int64)
+    batch = QueryBatch.from_pairs(queries, WIDTH)
+    bloom = BloomFilter(20_000, len(keys), seed=5)
+    bloom.add_many(np.array(keys, dtype=np.int64))
+    surf = SuRF(keys, WIDTH, physical=True)
+    fst = surf._fst
+    model = CPFPRModel(keys, WIDTH, queries)
+    design = design_proteus(model, 12 * len(keys))
+    proteus = Proteus(np.array(keys, dtype=np.int64), WIDTH, design)
+    return {
+        "bloom_bits": bloom.bits.to_bytes(),
+        "bloom_answers": bloom.contains_many(point).tobytes(),
+        "fst_dense": None if fst._dense is None else fst._dense.to_bytes(),
+        "fst_sparse": None if fst._sparse is None else fst._sparse.to_bytes(),
+        "surf_answers": surf.may_intersect_many(batch).tobytes(),
+        "design": (
+            design.kind, design.trie_depth, design.bloom_prefix_len,
+            design.trie_bits, design.bloom_bits,
+        ),
+        "proteus_answers": proteus.may_intersect_many(batch).tobytes(),
+    }
+
+
+def test_every_backend_is_bit_identical_to_numpy(workload):
+    # The registry contract: numpy defines kernel semantics; a compiled
+    # backend may only be faster, never different — in stored filter bytes,
+    # in batch answers, or in the design point Algorithm 1 lands on.
+    keys, queries, probes = workload
+    with kernels.use_backend("numpy"):
+        reference = _backend_snapshot(keys, queries, probes)
+    for backend in kernels.available_backends():
+        if backend == "numpy":
+            continue
+        with kernels.use_backend(backend):
+            snapshot = _backend_snapshot(keys, queries, probes)
+        for field, expected in reference.items():
+            assert snapshot[field] == expected, (backend, field)
 
 
 def test_batch_accepts_plain_pair_iterables(workload):

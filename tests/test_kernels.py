@@ -1,0 +1,270 @@
+"""The repro.kernels backend registry and the kernels' numpy-parity contract.
+
+numpy is the reference backend: it defines each kernel's semantics, and any
+compiled backend (cc, numba) present in the environment must match it bit
+for bit on the same inputs.  These tests also pin the registry's selection
+rules — explicit argument > ``REPRO_KERNEL_BACKEND`` > preference order,
+silent fallback for known-but-unavailable backends, ValueError for unknown
+names — and the dispatch counters exposed through ``repro.obs``.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+import repro.kernels as kernels
+from repro.amq.bitarray import BitArray
+from repro.amq.bloom import BloomFilter
+from repro.amq.hashing import premixed_pair_seeds
+from repro.evaluation.kernel_bench import _check_regressions, run_kernel_bench
+from repro.obs.metrics import MetricsRegistry
+from repro.trie.bitvector import RankSelectBitVector
+from repro.trie.fst import FastSuccinctTrie
+from repro.trie.node_trie import ByteTrie
+
+COMPILED = [name for name in kernels.available_backends() if name != "numpy"]
+
+
+# --------------------------------------------------------------------- #
+# Registry                                                              #
+# --------------------------------------------------------------------- #
+
+
+def test_numpy_backend_is_always_available():
+    assert "numpy" in kernels.available_backends()
+
+
+def test_unknown_backend_raises_everywhere():
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        kernels.get_backend_name("no-such-backend")
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        kernels.bloom_positions(
+            np.array([1], dtype=np.int64), 1, 3, 64, 2, backend="no-such-backend"
+        )
+
+
+def test_known_but_unavailable_backend_falls_back_silently():
+    # numba is an extras dependency; whether or not it is installed, asking
+    # for it must resolve to *some* backend without raising.
+    assert kernels.get_backend_name("numba") in ("numba", "numpy")
+
+
+def test_env_var_selects_default_backend(monkeypatch):
+    monkeypatch.setenv(kernels.ENV_VAR, "numpy")
+    kernels.reset_default_backend()
+    try:
+        assert kernels.get_backend_name() == "numpy"
+    finally:
+        monkeypatch.delenv(kernels.ENV_VAR)
+        kernels.reset_default_backend()
+
+
+def test_use_backend_forces_and_restores():
+    before = kernels.get_backend_name()
+    with kernels.use_backend("numpy") as forced:
+        assert forced == "numpy"
+        assert kernels.get_backend_name() == "numpy"
+    assert kernels.get_backend_name() == before
+
+
+def test_dispatch_counters_flow_into_metrics():
+    registry = MetricsRegistry()
+    kernels.attach_metrics(registry)
+    try:
+        with kernels.use_backend("numpy"):
+            kernels.bloom_positions(np.array([5], dtype=np.int64), 1, 3, 64, 2)
+    finally:
+        kernels.attach_metrics(None)
+    counters = registry.to_dict()["counters"]
+    assert counters["kernels.dispatch.numpy.bloom_positions"] == 1
+    # Detached: further dispatches must not touch the registry.
+    kernels.bloom_positions(np.array([5], dtype=np.int64), 1, 3, 64, 2)
+    assert registry.to_dict()["counters"] == counters
+
+
+# --------------------------------------------------------------------- #
+# Kernel semantics (numpy reference)                                    #
+# --------------------------------------------------------------------- #
+
+
+def test_bloom_positions_matches_scalar_probe_sequence():
+    bloom = BloomFilter(4_097, 300, seed=13)
+    values = np.array([0, 1, 9_999, (1 << 62) + 17], dtype=np.int64)
+    s1, s2 = premixed_pair_seeds(13)
+    matrix = kernels.bloom_positions(
+        values, s1, s2, bloom.num_bits, bloom.num_hashes, backend="numpy"
+    )
+    for column, value in enumerate(values.tolist()):
+        assert matrix[:, column].tolist() == list(bloom._positions(value))
+
+
+def test_bitvector_kernel_matches_get_and_rank_pair():
+    rng = np.random.default_rng(3)
+    for num_bits in (1, 7, 8, 9, 4_093):
+        bits = BitArray(num_bits)
+        bits.set_many(np.nonzero(rng.random(num_bits) < 0.4)[0])
+        vector = RankSelectBitVector(bits)
+        positions = np.concatenate(
+            [[0, num_bits - 1], rng.integers(0, num_bits, size=200)]
+        )
+        got_bits, got_ranks = vector.get_and_rank1_many(positions)
+        assert (got_bits == vector.get_many(positions)).all(), num_bits
+        assert (got_ranks == vector.rank1_many(positions + 1)).all(), num_bits
+
+
+def test_get_and_rank1_many_validates_and_handles_empty():
+    vector = RankSelectBitVector([True, False, True])
+    got_bits, got_ranks = vector.get_and_rank1_many(np.array([], dtype=np.int64))
+    assert got_bits.size == 0 and got_ranks.size == 0
+    with pytest.raises(IndexError):
+        vector.get_and_rank1_many(np.array([3], dtype=np.int64))
+    with pytest.raises(IndexError):
+        vector.get_and_rank1_many(np.array([-1], dtype=np.int64))
+
+
+def _random_prefix_set(rng: random.Random) -> list[bytes]:
+    out = set()
+    for _ in range(rng.randrange(1, 120)):
+        length = rng.randint(1, 5)
+        out.add(bytes(rng.randrange(256) for _ in range(length)))
+    return sorted(out)
+
+
+def test_bulk_fst_builder_matches_byte_trie_encoding():
+    # trie_levels' end-to-end contract: the kernel-backed builder must
+    # reproduce the ByteTrie walk's succinct payload byte for byte, on
+    # variable-length, covering-pruned inputs.
+    rng = random.Random(29)
+    for _ in range(10):
+        prefixes = _random_prefix_set(rng)
+        reference = FastSuccinctTrie.from_byte_trie(ByteTrie(prefixes))
+        bulk = FastSuccinctTrie.from_sorted_prefix_bytes(prefixes)
+        assert bulk.cutoff == reference.cutoff
+        assert bulk.num_leaves == reference.num_leaves
+        assert bulk.size_breakdown() == reference.size_breakdown()
+        assert bulk.modelled_size_in_bits() == reference.modelled_size_in_bits()
+        for half in ("_dense", "_sparse"):
+            ours, theirs = getattr(bulk, half), getattr(reference, half)
+            assert (ours is None) == (theirs is None)
+            if ours is not None:
+                assert ours.to_bytes() == theirs.to_bytes()
+
+
+def test_bulk_fst_builder_rejects_empty_prefix():
+    with pytest.raises(ValueError, match="empty prefix"):
+        FastSuccinctTrie.from_sorted_prefix_bytes([b""])
+
+
+def test_bloom_object_fallback_batches_identically():
+    # Satellite: the non-word fallback hashes scalar but probes in one
+    # batched pass — answers and stored bytes must equal the scalar loop.
+    wide = [1 << 70, (1 << 70) + 5, 3, 1 << 99]
+    scalar = BloomFilter(2_048, len(wide), seed=3)
+    batched = BloomFilter(2_048, len(wide), seed=3)
+    for item in wide:
+        scalar.add(item)
+    batched.add_many(np.array(wide, dtype=object))
+    assert scalar.bits.to_bytes() == batched.bits.to_bytes()
+    assert batched.inserted_items == len(wide)
+    probes = wide + [7, (1 << 80) + 1]
+    answers = batched.contains_many(np.array(probes, dtype=object))
+    assert list(answers) == [scalar.contains(item) for item in probes]
+    assert batched.contains_many(np.array([], dtype=object)).size == 0
+
+
+# --------------------------------------------------------------------- #
+# Compiled backends vs the numpy reference                              #
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("backend", COMPILED)
+def test_compiled_bloom_kernels_are_bit_identical(backend):
+    rng = np.random.default_rng(5)
+    values = rng.integers(0, 1 << 62, size=2_000, dtype=np.int64)
+    s1, s2 = premixed_pair_seeds(11)
+    num_bits, k = 16_384, 7
+    reference = np.zeros(num_bits // 8, dtype=np.uint8)
+    compiled = np.zeros(num_bits // 8, dtype=np.uint8)
+    kernels.bloom_add(reference, num_bits, values, s1, s2, k, backend="numpy")
+    kernels.bloom_add(compiled, num_bits, values, s1, s2, k, backend=backend)
+    assert reference.tobytes() == compiled.tobytes()
+    probes = np.concatenate(
+        [values[:500], rng.integers(0, 1 << 62, size=500, dtype=np.int64)]
+    )
+    want = kernels.bloom_contains(
+        reference, num_bits, probes, s1, s2, k, backend="numpy"
+    )
+    got = kernels.bloom_contains(
+        reference, num_bits, probes, s1, s2, k, backend=backend
+    )
+    assert (want == got).all()
+
+
+@pytest.mark.parametrize("backend", COMPILED)
+def test_compiled_bitvector_kernel_is_bit_identical(backend):
+    rng = np.random.default_rng(6)
+    for num_bits in (8, 13, 9_001):
+        bits = BitArray(num_bits)
+        bits.set_many(np.nonzero(rng.random(num_bits) < 0.5)[0])
+        vector = RankSelectBitVector(bits)
+        positions = np.concatenate(
+            [[0, num_bits - 1], rng.integers(0, num_bits, size=300)]
+        )
+        want = kernels.bitvector_get_rank1(
+            vector._byte_buffer, vector._byte_cumulative, num_bits, positions,
+            backend="numpy",
+        )
+        got = kernels.bitvector_get_rank1(
+            vector._byte_buffer, vector._byte_cumulative, num_bits, positions,
+            backend=backend,
+        )
+        assert (want[0] == got[0]).all() and (want[1] == got[1]).all()
+
+
+@pytest.mark.parametrize("backend", COMPILED)
+def test_compiled_trie_levels_kernel_is_bit_identical(backend):
+    rng = random.Random(31)
+    for _ in range(8):
+        prefixes = _random_prefix_set(rng)
+        with kernels.use_backend("numpy"):
+            want = FastSuccinctTrie.from_sorted_prefix_bytes(prefixes)
+        with kernels.use_backend(backend):
+            got = FastSuccinctTrie.from_sorted_prefix_bytes(prefixes)
+        assert want.size_breakdown() == got.size_breakdown()
+        for half in ("_dense", "_sparse"):
+            ours, theirs = getattr(want, half), getattr(got, half)
+            if ours is not None:
+                assert ours.to_bytes() == theirs.to_bytes()
+
+
+# --------------------------------------------------------------------- #
+# kernel_bench harness                                                  #
+# --------------------------------------------------------------------- #
+
+
+def test_kernel_bench_reports_parity_and_speedups():
+    # rounds=2 also covers the conservative-floor aggregation (the
+    # committed reference is a per-round minimum of speedups).
+    report = run_kernel_bench(scale=0.005, seed=3, repeats=1, rounds=2)
+    assert report["workload"]["rounds"] == 2
+    assert set(report["benchmarks"]) == {
+        "bloom_add", "bloom_contains", "bitvector_get_rank1", "trie_levels",
+    }
+    for kernel_name, parity in report["parity"].items():
+        assert all(parity.values()), kernel_name
+    for backend in report["backends"]:
+        if backend == "numpy":
+            continue
+        for kernel_name in report["benchmarks"]:
+            assert report["speedups"][kernel_name][backend] > 0
+
+
+def test_kernel_bench_regression_check():
+    current = {"speedups": {"bloom_add": {"cc": 2.0}}}
+    committed = {"speedups": {"bloom_add": {"cc": 3.0}, "trie_levels": {"cc": 9.0}}}
+    # trie_levels missing from the current report: skipped, not failed.
+    failures = _check_regressions(current, committed, tolerance=0.2)
+    assert set(failures) == {"bloom_add.cc"}
+    assert failures["bloom_add.cc"] == (2.0, pytest.approx(2.4))
+    assert not _check_regressions(current, committed, tolerance=0.5)
