@@ -31,8 +31,10 @@ The package is organised as a set of small, focused subpackages:
 ``repro.lsm``
     The RocksDB-style LSM tree substrate: leveled geometry, per-SST range
     filters constructed via ``FilterSpec`` from one shared workload sample,
-    and the simulated I/O cost model (block reads charged only on filter
-    positives).
+    the simulated I/O cost model (block reads charged only on filter
+    positives), and the online write path (``MemTable`` → flush → leveled
+    compaction in ``OnlineLSMTree``, with ``FilterLifecycle`` rebuilding
+    drifted filters from a rolling query sample).
 ``repro.evaluation``
     Benchmark harness (``python -m repro.evaluation.bench``), the
     FPR-vs-bits-per-key sweep driver (``python -m repro.evaluation.sweep``)
@@ -91,6 +93,9 @@ _LAZY_EXPORTS = {
     "SSTable": "repro.lsm",
     "CostModel": "repro.lsm",
     "ProbeResult": "repro.lsm",
+    "MemTable": "repro.lsm",
+    "OnlineLSMTree": "repro.lsm",
+    "FilterLifecycle": "repro.lsm",
     "MetricsRegistry": "repro.obs",
     "DriftMonitor": "repro.obs",
     "ProbeTrace": "repro.obs",
@@ -98,7 +103,7 @@ _LAZY_EXPORTS = {
 
 __all__ = list(_LAZY_EXPORTS)
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 
 def __getattr__(name: str):

@@ -21,7 +21,11 @@ fixed baselines (``surf``, ``rosetta``, ``prefix_bloom``, ``bloom``) derive
 their internal knobs from the budget as the paper's experimental setup does.
 """
 
-from repro.api.budget import allocate_sst_budgets, derive_sst_specs
+from repro.api.budget import (
+    allocate_sst_budgets,
+    derive_sst_specs,
+    resplit_on_topology_change,
+)
 from repro.api.registry import (
     FilterFamily,
     build_filter,
@@ -42,4 +46,5 @@ __all__ = [
     "build_filter",
     "allocate_sst_budgets",
     "derive_sst_specs",
+    "resplit_on_topology_change",
 ]

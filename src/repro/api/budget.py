@@ -27,7 +27,12 @@ from typing import Sequence
 
 from repro.api.spec import FilterSpec
 
-__all__ = ["ALLOCATION_POLICIES", "allocate_sst_budgets", "derive_sst_specs"]
+__all__ = [
+    "ALLOCATION_POLICIES",
+    "allocate_sst_budgets",
+    "derive_sst_specs",
+    "resplit_on_topology_change",
+]
 
 #: Recognised per-SST allocation policy names.
 ALLOCATION_POLICIES = ("proportional", "equal")
@@ -76,3 +81,40 @@ def derive_sst_specs(
     """
     budgets = allocate_sst_budgets(spec.bits_per_key, key_counts, policy)
     return [spec.with_budget(budget) for budget in budgets]
+
+
+def resplit_on_topology_change(
+    spec: FilterSpec,
+    key_counts: Sequence[int],
+    previous: Sequence[FilterSpec | None],
+    policy: str = "proportional",
+    tolerance: float = 1e-9,
+) -> tuple[list[FilterSpec], list[bool]]:
+    """Re-derive per-SST specs after a flush or compaction changed the tree.
+
+    The online write path changes the SST population continuously; every
+    change must keep the global-grant invariant (per-SST bit grants sum to
+    ``spec.bits_per_key * total_keys``), so the split is re-derived over
+    the *current* ``key_counts``.  ``previous`` carries each surviving
+    SST's currently-attached spec (``None`` for a fresh flush/compaction
+    output with no filter yet); the returned ``stale`` mask marks the SSTs
+    whose budget moved beyond ``tolerance`` bits per key (or that have no
+    filter) — the only ones whose filter must be rebuilt.
+
+    Under ``proportional`` (every SST at the global bits-per-key) a
+    topology change never moves a surviving SST's budget, so only the new
+    tables rebuild — the cheap steady state.  Under ``equal`` every
+    per-SST grant depends on the SST count, so any topology change marks
+    the whole tree stale: the documented price of the strawman policy.
+    """
+    if len(previous) != len(key_counts):
+        raise ValueError(
+            f"{len(previous)} previous specs do not match "
+            f"{len(key_counts)} SSTs"
+        )
+    specs = derive_sst_specs(spec, key_counts, policy)
+    stale = [
+        old is None or abs(old.bits_per_key - new.bits_per_key) > tolerance
+        for old, new in zip(previous, specs)
+    ]
+    return specs, stale

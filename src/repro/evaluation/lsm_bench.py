@@ -29,6 +29,18 @@ every filtered configuration does no more I/O than the no-filter baseline,
 every filtered configuration strictly reduces false-positive block reads,
 and Proteus's false-positive block reads are at or below every other
 filtered family's at the shared budget.
+
+``--timeline`` switches to the *online* benchmark
+(:mod:`repro.evaluation.timeline`): two
+:class:`~repro.lsm.online.OnlineLSMTree` instances — one frozen, one
+running the :class:`~repro.lsm.lifecycle.FilterLifecycle` closed loop —
+ingest the same write stream interleaved with query epochs, with a forced
+uniform→correlated query shift at ``--shift-epoch``.  There ``--check``
+gates the closed loop instead: zero missed reads throughout, the actuator
+fires, and the adaptive tree strictly beats the frozen tree's
+false-positive block reads every post-shift epoch.
+
+    python -m repro.evaluation.lsm_bench --timeline --check
 """
 
 from __future__ import annotations
@@ -42,6 +54,7 @@ import numpy as np
 from repro import kernels
 from repro.api import FilterSpec, Workload, family as family_entry
 from repro.evaluation.sweep import held_out_queries
+from repro.evaluation.timeline import check_timeline_report, run_timeline_bench
 from repro.lsm import CostModel, LSMTree
 from repro.obs.drift import DriftMonitor, predicted_tree_fpr
 from repro.obs.metrics import MetricsRegistry, timed
@@ -359,30 +372,124 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--check",
         action="store_true",
-        help="fail unless the paper's qualitative I/O ordering holds",
+        help="fail unless the paper's qualitative I/O ordering holds "
+        "(with --timeline: unless the closed loop beats the frozen tree)",
+    )
+    timeline = parser.add_argument_group(
+        "timeline mode", "online write path under a forced query shift"
+    )
+    timeline.add_argument(
+        "--timeline",
+        action="store_true",
+        help="run the online adaptive-vs-frozen timeline benchmark instead "
+        "of the static family comparison",
+    )
+    timeline.add_argument(
+        "--timeline-family",
+        default="proteus",
+        help="filter family both online trees build per SST",
+    )
+    timeline.add_argument(
+        "--epochs", type=int, default=6, help="interleaved write/query epochs"
+    )
+    timeline.add_argument(
+        "--writes-per-epoch", type=int, default=1024, help="write ops per epoch"
+    )
+    timeline.add_argument(
+        "--queries-per-epoch", type=int, default=512, help="queries per epoch"
+    )
+    timeline.add_argument(
+        "--preload", type=int, default=4096, help="keys inserted before epoch 0"
+    )
+    timeline.add_argument(
+        "--shift-epoch",
+        type=int,
+        default=2,
+        help="epoch at which the query mix shifts uniform→correlated",
+    )
+    timeline.add_argument(
+        "--grace-epochs",
+        type=int,
+        default=1,
+        help="post-shift epochs the gate grants the loop to sense and rebuild",
+    )
+    timeline.add_argument(
+        "--level0-runs",
+        type=int,
+        default=4,
+        help="level-0 run count that triggers compaction",
+    )
+    timeline.add_argument(
+        "--delete-fraction",
+        type=float,
+        default=0.1,
+        help="fraction of write ops that are deletes (tombstones)",
+    )
+    timeline.add_argument(
+        "--design-queries",
+        type=int,
+        default=1024,
+        help="size of the initial (pre-shift) design sample",
+    )
+    timeline.add_argument(
+        "--drift-window",
+        type=int,
+        default=4,
+        help="per-SST drift monitor window in epochs",
+    )
+    timeline.add_argument(
+        "--drift-min-empty",
+        type=int,
+        default=16,
+        help="empty trials a per-SST window needs before it may flag",
     )
     args = parser.parse_args(argv)
     metrics = MetricsRegistry() if args.metrics_out else None
     kernels.attach_metrics(metrics)  # kernels.dispatch.{backend}.{kernel}
     try:
-        report = run_lsm_bench(
-            families=tuple(name for name in args.families.split(",") if name),
-            bits_per_key=args.bits_per_key,
-            num_keys=args.keys,
-            num_queries=args.queries,
-            num_eval_queries=args.eval_queries,
-            width=args.width,
-            seed=args.seed,
-            key_dist=args.key_dist,
-            query_family=args.query_family,
-            sst_keys=args.sst_keys,
-            fanout=args.fanout,
-            policy=args.policy,
-            cost_model=CostModel(args.block_read_cost, args.filter_probe_cost),
-            metrics=metrics,
-            trace_sample=args.trace_sample,
-            drift_batches=args.drift_batches,
-        )
+        if args.timeline:
+            report = run_timeline_bench(
+                family=args.timeline_family,
+                bits_per_key=args.bits_per_key,
+                num_epochs=args.epochs,
+                writes_per_epoch=args.writes_per_epoch,
+                queries_per_epoch=args.queries_per_epoch,
+                preload=args.preload,
+                shift_epoch=args.shift_epoch,
+                grace_epochs=args.grace_epochs,
+                width=args.width,
+                seed=args.seed,
+                key_dist=args.key_dist,
+                delete_fraction=args.delete_fraction,
+                design_queries=args.design_queries,
+                sst_keys=args.sst_keys,
+                fanout=args.fanout,
+                level0_runs=args.level0_runs,
+                policy=args.policy,
+                drift_window=args.drift_window,
+                drift_min_empty=args.drift_min_empty,
+                cost_model=CostModel(args.block_read_cost, args.filter_probe_cost),
+                metrics=metrics,
+            )
+        else:
+            report = run_lsm_bench(
+                families=tuple(name for name in args.families.split(",") if name),
+                bits_per_key=args.bits_per_key,
+                num_keys=args.keys,
+                num_queries=args.queries,
+                num_eval_queries=args.eval_queries,
+                width=args.width,
+                seed=args.seed,
+                key_dist=args.key_dist,
+                query_family=args.query_family,
+                sst_keys=args.sst_keys,
+                fanout=args.fanout,
+                policy=args.policy,
+                cost_model=CostModel(args.block_read_cost, args.filter_probe_cost),
+                metrics=metrics,
+                trace_sample=args.trace_sample,
+                drift_batches=args.drift_batches,
+            )
     finally:
         kernels.attach_metrics(None)
     rendered = json.dumps(report, indent=2, sort_keys=True)
@@ -391,34 +498,52 @@ def main(argv: list[str] | None = None) -> int:
             handle.write(rendered + "\n")
     if metrics is not None:
         payload = {
-            "driver": "lsm_bench",
+            "driver": "lsm_bench.timeline" if args.timeline else "lsm_bench",
             "metrics": metrics.to_dict(),
             "prometheus": metrics.to_prometheus(),
-            "traces": {
+        }
+        if not args.timeline:
+            payload["traces"] = {
                 name: config["trace"]
                 for name, config in report["configs"].items()
                 if "trace" in config
-            },
-            "drift": {
+            }
+            payload["drift"] = {
                 name: config["drift"]
                 for name, config in report["configs"].items()
                 if "drift" in config
-            },
-        }
+            }
+        else:
+            payload["drift"] = {
+                "lifecycle": report["lifecycle"],
+                "per_epoch": [
+                    {"epoch": r["epoch"], **r["adaptive"]["drift"]}
+                    for r in report["epochs"]
+                ],
+            }
         with open(args.metrics_out, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
     print(rendered)
     if args.check:
-        violations = check_report(report)
+        if args.timeline:
+            violations = check_timeline_report(report)
+        else:
+            violations = check_report(report)
         if violations:
             for violation in violations:
                 print(f"FAIL: {violation}", file=sys.stderr)
             return 1
-        print(
-            "OK: every filtered configuration beats the no-filter baseline "
-            "and Proteus holds the lowest false-positive block reads"
-        )
+        if args.timeline:
+            print(
+                "OK: zero missed reads throughout and the adaptive tree "
+                "strictly beats frozen Proteus every post-shift epoch"
+            )
+        else:
+            print(
+                "OK: every filtered configuration beats the no-filter baseline "
+                "and Proteus holds the lowest false-positive block reads"
+            )
     return 0
 
 

@@ -57,6 +57,7 @@ __all__ = [
     "bloom_contains",
     "bitvector_get_rank1",
     "trie_levels",
+    "merge_runs",
 ]
 
 #: Environment variable naming the default backend for the process.
@@ -230,6 +231,25 @@ def bitvector_get_rank1(
     resolved = _resolve(backend)
     _count(resolved.name, "bitvector_get_rank1")
     return resolved.bitvector_get_rank1(buffer, cumulative, num_bits, positions)
+
+
+def merge_runs(
+    keys: np.ndarray, tombstones: np.ndarray, priorities: np.ndarray,
+    backend: str | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Newest-wins merge of concatenated sorted runs (the compaction core).
+
+    Served by the numpy reference on every backend until a compiled
+    implementation lands — the dispatch still counts, so instrumented
+    compactions report ``kernels.dispatch.{backend}.merge_runs``.
+    """
+    resolved = _resolve(backend)
+    impl = getattr(resolved, "merge_runs", None)
+    if impl is None:
+        resolved = _backend("numpy")
+        impl = resolved.merge_runs
+    _count(resolved.name, "merge_runs")
+    return impl(keys, tombstones, priorities)
 
 
 def trie_levels(

@@ -77,6 +77,29 @@ def bitvector_get_rank1(buffer: np.ndarray, cumulative: np.ndarray,
     return bits, counts.astype(np.int64)
 
 
+def merge_runs(keys: np.ndarray, tombstones: np.ndarray, priorities: np.ndarray
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """Newest-wins k-way merge of concatenated sorted runs.
+
+    ``keys``/``tombstones``/``priorities`` are the parallel concatenation
+    of every input run's entries; ``priorities`` is the run's recency rank
+    (0 = newest), constant within a run.  One ``lexsort`` orders entries by
+    key with the newest first inside each duplicate group, then a shifted
+    comparison keeps exactly the first (newest) entry per key.  Returns the
+    sorted distinct ``(keys, tombstones)`` of the surviving entries —
+    shadowed duplicates dropped, each key carrying its newest entry's
+    tombstone flag.
+    """
+    if keys.size == 0:
+        return keys[:0].copy(), tombstones[:0].copy()
+    order = np.lexsort((priorities, keys))
+    sorted_keys = keys[order]
+    keep = np.empty(sorted_keys.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=keep[1:])
+    return sorted_keys[keep], tombstones[order][keep]
+
+
 def trie_levels(mat: np.ndarray, lengths: np.ndarray
                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Per-level edge arrays of a sorted, distinct, prefix-free string set.

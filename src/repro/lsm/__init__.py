@@ -14,12 +14,44 @@ reads*.
   per-query accounting, including the paper's false-positive-block-read
   metric.
 
+The **online write path** churns the same substrate:
+
+* :class:`~repro.lsm.memtable.MemTable` — the bounded write buffer
+  (last-write-wins puts and tombstoned deletes);
+* :class:`~repro.lsm.merge.EntryRun` /
+  :func:`~repro.lsm.merge.merge_entry_runs` — newest-wins compaction
+  merges on the :func:`repro.kernels.merge_runs` kernel;
+* :class:`~repro.lsm.online.OnlineLSMTree` — memtable → flush → leveled
+  compaction, re-splitting the global filter budget and rebuilding stale
+  filters after every topology change;
+* :class:`~repro.lsm.lifecycle.FilterLifecycle` — the closed loop: per-SST
+  drift monitors actuating in-place filter redesign from a rolling query
+  sample.
+
 The benchmark driver lives in :mod:`repro.evaluation.lsm_bench`
-(``python -m repro.evaluation.lsm_bench``).
+(``python -m repro.evaluation.lsm_bench``; ``--timeline`` exercises the
+online path).
 """
 
-from repro.lsm.cost import CostModel, LevelStats, ProbeResult
+from repro.lsm.cost import CostModel, LevelStats, ProbeResult, SstStats
+from repro.lsm.lifecycle import FilterLifecycle
+from repro.lsm.memtable import MemTable
+from repro.lsm.merge import EntryRun, merge_entry_runs, merge_key_sets
+from repro.lsm.online import OnlineLSMTree
 from repro.lsm.sstable import SSTable
 from repro.lsm.tree import LSMTree
 
-__all__ = ["CostModel", "LevelStats", "ProbeResult", "SSTable", "LSMTree"]
+__all__ = [
+    "CostModel",
+    "LevelStats",
+    "ProbeResult",
+    "SstStats",
+    "SSTable",
+    "LSMTree",
+    "MemTable",
+    "EntryRun",
+    "merge_entry_runs",
+    "merge_key_sets",
+    "OnlineLSMTree",
+    "FilterLifecycle",
+]

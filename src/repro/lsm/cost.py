@@ -27,7 +27,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
-__all__ = ["CostModel", "LevelStats", "ProbeResult"]
+__all__ = ["CostModel", "LevelStats", "ProbeResult", "SstStats"]
 
 
 @dataclass(frozen=True)
@@ -87,6 +87,39 @@ class LevelStats:
     def to_dict(self) -> dict:
         return {
             "level": self.level,
+            "candidates": self.candidates,
+            "filter_probes": self.filter_probes,
+            "blocks_read": self.blocks_read,
+            "required_reads": self.required_reads,
+            "false_positive_reads": self.false_positive_reads,
+            "missed_reads": self.missed_reads,
+        }
+
+
+@dataclass
+class SstStats:
+    """Aggregate probe accounting for one SST (the drift monitor's unit).
+
+    ``empty_trials`` — fence-surviving probes of this SST for queries it
+    held no matching entry for — is the per-SST denominator a
+    :class:`~repro.obs.drift.DriftMonitor` grades ``false_positive_reads``
+    against: the conditional FPR of *this* SST's filter on the live mix.
+    """
+
+    candidates: int = 0
+    filter_probes: int = 0
+    blocks_read: int = 0
+    required_reads: int = 0
+    false_positive_reads: int = 0
+    missed_reads: int = 0
+
+    @property
+    def empty_trials(self) -> int:
+        """Fence-surviving probes whose query had no matching entry here."""
+        return self.candidates - self.required_reads
+
+    def to_dict(self) -> dict:
+        return {
             "candidates": self.candidates,
             "filter_probes": self.filter_probes,
             "blocks_read": self.blocks_read,

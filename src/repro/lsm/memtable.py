@@ -1,0 +1,111 @@
+"""The in-memory write buffer: last-write-wins puts and tombstoned deletes.
+
+Every write enters the tree here.  A :class:`MemTable` is a bounded
+key → entry map (``True`` = live put, ``False`` = tombstone) with
+last-write-wins semantics: a put over a delete resurrects the key, a
+delete over a put buries it, and only the *final* state of each key
+survives into the flush.  Deletes are first-class entries — a delete of a
+key this memtable never saw still records a tombstone, because the key
+may live in an SST below and the tombstone must shadow it until
+compaction proves otherwise.
+
+:meth:`seal` snapshots the buffer into an immutable sorted
+:class:`~repro.lsm.merge.EntryRun` — the unit the flush path turns into a
+level-0 SST — and empties the memtable for the next write burst.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.lsm.merge import EntryRun
+from repro.workloads.batch import EncodedKeySet
+
+__all__ = ["MemTable"]
+
+#: Default write-buffer capacity in entries.
+DEFAULT_CAPACITY = 512
+
+
+class MemTable:
+    """A bounded, mutable key → live/tombstone map in a ``width``-bit space."""
+
+    __slots__ = ("width", "capacity", "_entries", "_top")
+
+    def __init__(self, width: int, capacity: int = DEFAULT_CAPACITY):
+        if width <= 0:
+            raise ValueError("key width must be positive")
+        if capacity < 1:
+            raise ValueError("memtable capacity must be at least 1 entry")
+        self.width = width
+        self.capacity = capacity
+        self._entries: dict[int, bool] = {}
+        self._top = (1 << width) - 1
+
+    def _check_key(self, key: int) -> int:
+        key = int(key)
+        if not 0 <= key <= self._top:
+            raise ValueError(f"key {key} outside the {self.width}-bit key space")
+        return key
+
+    def put(self, key: int) -> None:
+        """Record ``key`` as live (overwriting any buffered tombstone)."""
+        self._entries[self._check_key(key)] = True
+
+    def delete(self, key: int) -> None:
+        """Record a tombstone for ``key`` (overwriting any buffered put)."""
+        self._entries[self._check_key(key)] = False
+
+    def apply(self, ops: Iterable[tuple[str, int]]) -> None:
+        """Apply ``("put", key)`` / ``("del", key)`` ops in order."""
+        for op, key in ops:
+            if op == "put":
+                self.put(key)
+            elif op == "del":
+                self.delete(key)
+            else:
+                raise ValueError(f"unknown write op {op!r}; expected 'put' or 'del'")
+
+    def get(self, key: int) -> bool | None:
+        """``True`` if buffered live, ``False`` if tombstoned, ``None`` if absent."""
+        return self._entries.get(self._check_key(key))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    @property
+    def is_full(self) -> bool:
+        """Has the buffer reached its flush threshold?"""
+        return len(self._entries) >= self.capacity
+
+    @property
+    def num_tombstones(self) -> int:
+        return sum(1 for live in self._entries.values() if not live)
+
+    def seal(self) -> EntryRun:
+        """Snapshot the buffer as a sorted run and clear it for reuse.
+
+        The run holds one entry per distinct key — the last write wins by
+        construction of the underlying map — with tombstones marked.
+        Sealing an empty memtable is an error; the flush path checks
+        ``is_empty`` first.
+        """
+        if not self._entries:
+            raise ValueError("cannot seal an empty memtable")
+        items = sorted(self._entries.items())
+        keys = [key for key, _ in items]
+        tombstones = np.array([not live for _, live in items], dtype=bool)
+        self._entries = {}
+        return EntryRun(EncodedKeySet(keys, self.width), tombstones)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemTable(entries={len(self)}, tombstones={self.num_tombstones}, "
+            f"capacity={self.capacity}, width={self.width})"
+        )

@@ -1,0 +1,178 @@
+"""Compaction merges: newest-wins k-way merge of sorted entry runs.
+
+A *run* is a sorted distinct key array plus a parallel tombstone mask —
+what a sealed memtable, an L0 flush, or a level's SST sequence holds.
+Compaction merges several runs (ordered newest first) into one: for every
+key, the newest run's entry wins (a shallower put or delete *shadows*
+every deeper entry for the same key), and when the merge feeds the
+deepest populated level, surviving tombstones are dropped entirely — there
+is nothing below left for them to shadow.
+
+Two implementations, pinned equal in ``tests/test_batch_parity.py``:
+
+* :func:`merge_entry_runs` — the fast path: one ``np.concatenate`` over
+  the runs and a single ``lexsort``+shifted-comparison dedupe, dispatched
+  through :func:`repro.kernels.merge_runs` (so instrumented compactions
+  count ``kernels.dispatch.{backend}.merge_runs``);
+* :func:`merge_entry_runs_scalar` — the heap-merge reference
+  (``heapq.merge`` + first-per-key), which also serves the ``object``-
+  dtype wide-key fallback where ``lexsort`` cannot.
+
+:func:`merge_key_sets` is the tombstone-free specialisation behind
+``SSTable.merge_sorted``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+from repro import kernels
+from repro.workloads.batch import EncodedKeySet
+
+__all__ = [
+    "EntryRun",
+    "merge_entry_runs",
+    "merge_entry_runs_scalar",
+    "merge_key_sets",
+]
+
+
+class EntryRun:
+    """One sorted run of entries: distinct keys plus a tombstone mask.
+
+    ``keys`` is an :class:`~repro.workloads.batch.EncodedKeySet` (sorted,
+    distinct, bounds-checked); ``tombstones`` a parallel boolean array —
+    ``None`` means every entry is a live put.  Runs are immutable value
+    carriers between the memtable, flush, and compaction layers.
+    """
+
+    __slots__ = ("keys", "tombstones")
+
+    def __init__(self, keys: EncodedKeySet, tombstones: np.ndarray | None = None):
+        if tombstones is not None:
+            tombstones = np.asarray(tombstones, dtype=bool)
+            if tombstones.shape != (len(keys),):
+                raise ValueError(
+                    f"tombstone mask of shape {tombstones.shape} does not match "
+                    f"{len(keys)} keys"
+                )
+            if not tombstones.any():
+                tombstones = None
+        self.keys = keys
+        self.tombstones = tombstones
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def width(self) -> int:
+        return self.keys.width
+
+    def tombstone_mask(self) -> np.ndarray:
+        """The tombstone mask, materialised (all-False when ``None``)."""
+        if self.tombstones is None:
+            return np.zeros(len(self.keys), dtype=bool)
+        return self.tombstones
+
+    @property
+    def num_tombstones(self) -> int:
+        return int(self.tombstones.sum()) if self.tombstones is not None else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EntryRun(entries={len(self)}, tombstones={self.num_tombstones}, "
+            f"width={self.width})"
+        )
+
+
+def _check_runs(runs: Sequence[EntryRun]) -> int:
+    if not runs:
+        raise ValueError("need at least one run to merge")
+    width = runs[0].width
+    for run in runs:
+        if run.width != width:
+            raise ValueError(
+                f"run width {run.width} does not match the first run's {width}"
+            )
+    return width
+
+
+def merge_entry_runs(
+    runs: Sequence[EntryRun], drop_tombstones: bool = False
+) -> EntryRun:
+    """Merge ``runs`` (newest first) into one newest-wins run.
+
+    The fast path concatenates every run's keys/tombstones with a
+    per-entry priority (the run's index — lower is newer) and lets the
+    :func:`repro.kernels.merge_runs` kernel sort and dedupe in one pass.
+    Wide key spaces (``object`` dtype) fall back to the scalar heap merge,
+    so correctness never depends on the vector path.  With
+    ``drop_tombstones`` the surviving deletes are removed from the output
+    — the bottom-level merge, where a tombstone has nothing left to
+    shadow.
+    """
+    width = _check_runs(runs)
+    if not all(run.keys.is_vector for run in runs):
+        return merge_entry_runs_scalar(runs, drop_tombstones)
+    keys = np.concatenate([run.keys.keys for run in runs])
+    tombstones = np.concatenate([run.tombstone_mask() for run in runs])
+    priorities = np.repeat(
+        np.arange(len(runs), dtype=np.int64),
+        [len(run) for run in runs],
+    )
+    merged_keys, merged_tombstones = kernels.merge_runs(keys, tombstones, priorities)
+    if drop_tombstones:
+        live = ~merged_tombstones
+        merged_keys = merged_keys[live]
+        merged_tombstones = merged_tombstones[live]
+    return EntryRun(
+        EncodedKeySet._trusted(merged_keys, width),
+        merged_tombstones if merged_tombstones.any() else None,
+    )
+
+
+def merge_entry_runs_scalar(
+    runs: Sequence[EntryRun], drop_tombstones: bool = False
+) -> EntryRun:
+    """The heap-merge reference: ``heapq.merge`` + first-entry-per-key.
+
+    Semantics identical to :func:`merge_entry_runs` (the parity tests pin
+    this); also the ``object``-dtype fallback for wide key spaces.
+    """
+    width = _check_runs(runs)
+    streams = [
+        zip(run.keys.as_list(), [priority] * len(run), run.tombstone_mask().tolist())
+        for priority, run in enumerate(runs)
+    ]
+    merged_keys: list[int] = []
+    merged_tombstones: list[bool] = []
+    previous: int | None = None
+    for key, _, tombstone in heapq.merge(*streams):
+        if key == previous:
+            continue  # an older (higher-priority-number) entry: shadowed
+        previous = key
+        if drop_tombstones and tombstone:
+            continue
+        merged_keys.append(key)
+        merged_tombstones.append(tombstone)
+    dtype = np.int64 if runs[0].keys.is_vector else object
+    keys_arr = np.array(merged_keys, dtype=dtype)
+    tombstones_arr = np.array(merged_tombstones, dtype=bool)
+    return EntryRun(
+        EncodedKeySet._trusted(keys_arr, width),
+        tombstones_arr if tombstones_arr.any() else None,
+    )
+
+
+def merge_key_sets(key_sets: Sequence[EncodedKeySet]) -> EncodedKeySet:
+    """Merge sorted distinct key sets into one (duplicates collapse).
+
+    The tombstone-free specialisation of :func:`merge_entry_runs`; with no
+    deletes in play recency cannot change an answer, so this is a plain
+    sorted-set union on the same kernel.
+    """
+    merged = merge_entry_runs([EntryRun(keys) for keys in key_sets])
+    return merged.keys

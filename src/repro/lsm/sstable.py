@@ -12,9 +12,19 @@ The SST also knows its own ground truth (:meth:`matches_many`): whether a
 query range actually contains one of its keys, via binary search on the
 slice.  The cost model compares filter answers against this to classify
 each charged block read as required or false-positive.
+
+Online SSTs (flush and compaction outputs, :mod:`repro.lsm.online`) carry
+an optional *tombstone* mask alongside the keys: a tombstoned entry
+records a delete that still shadows older entries for the same key in
+deeper levels.  Tombstones are real entries — they occupy the table, the
+filter indexes them, and a read that lands on one is a *required* read
+(it is how the tree learns the key is deleted) — so :meth:`matches_many`
+deliberately answers over all entries, live and deleted alike.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -28,14 +38,30 @@ __all__ = ["SSTable"]
 class SSTable:
     """One sorted run of keys with fences and an optional range filter."""
 
-    __slots__ = ("level", "index", "keys", "filter", "spec")
+    __slots__ = ("level", "index", "keys", "filter", "spec", "tombstones")
 
-    def __init__(self, level: int, index: int, keys: EncodedKeySet):
+    def __init__(
+        self,
+        level: int,
+        index: int,
+        keys: EncodedKeySet,
+        tombstones: np.ndarray | None = None,
+    ):
         if len(keys) == 0:
             raise ValueError("an SSTable must hold at least one key")
+        if tombstones is not None:
+            tombstones = np.asarray(tombstones, dtype=bool)
+            if tombstones.shape != (len(keys),):
+                raise ValueError(
+                    f"tombstone mask of shape {tombstones.shape} does not "
+                    f"match {len(keys)} keys"
+                )
+            if not tombstones.any():
+                tombstones = None
         self.level = level
         self.index = index
         self.keys = keys
+        self.tombstones = tombstones
         self.filter: RangeFilter | None = None
         self.spec: FilterSpec | None = None
 
@@ -55,6 +81,31 @@ class SSTable:
 
     def __len__(self) -> int:
         return len(self.keys)
+
+    @property
+    def num_tombstones(self) -> int:
+        """How many of this table's entries are deletes."""
+        return int(self.tombstones.sum()) if self.tombstones is not None else 0
+
+    def tombstone_mask(self) -> np.ndarray:
+        """The tombstone mask, materialised (all-False when ``None``)."""
+        if self.tombstones is None:
+            return np.zeros(len(self.keys), dtype=bool)
+        return self.tombstones
+
+    @staticmethod
+    def merge_sorted(key_sets: Sequence[EncodedKeySet]) -> EncodedKeySet:
+        """Merge already-sorted key sets into one sorted distinct set.
+
+        The k-way merge behind compaction, as a single
+        ``np.concatenate``+``lexsort`` pass through the
+        :func:`repro.kernels.merge_runs` kernel instead of a Python heap
+        loop — parity-pinned against the ``heapq.merge`` scalar reference
+        in ``tests/test_batch_parity.py``.
+        """
+        from repro.lsm.merge import merge_key_sets
+
+        return merge_key_sets(key_sets)
 
     def attach_filter(self, filt: RangeFilter, spec: FilterSpec | None = None) -> None:
         """Install the per-SST filter (and remember the spec that built it)."""

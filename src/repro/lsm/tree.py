@@ -31,11 +31,15 @@ import numpy as np
 
 from repro.api import FilterSpec, Workload, build_filter, derive_sst_specs
 from repro.filters.base import ragged_ranges
-from repro.lsm.cost import CostModel, ProbeResult
+from repro.lsm.cost import CostModel, ProbeResult, SstStats
 from repro.lsm.sstable import SSTable
 from repro.obs.metrics import timed
 from repro.obs.trace import ProbeTrace
-from repro.workloads.batch import EncodedKeySet, coerce_query_batch
+from repro.workloads.batch import (
+    MAX_VECTOR_WIDTH,
+    EncodedKeySet,
+    coerce_query_batch,
+)
 
 __all__ = ["LSMTree"]
 
@@ -56,7 +60,7 @@ class LSMTree:
         width: int,
         geometry: dict | None = None,
     ):
-        if not levels or not all(levels):
+        if not levels or not any(levels):
             raise ValueError("an LSM tree needs at least one non-empty level")
         self.width = width
         self.levels = levels
@@ -69,10 +73,15 @@ class LSMTree:
                     )
         # Per-level fence arrays: SSTs in a level are disjoint and sorted,
         # so min/max fences are both increasing and a query's candidate SSTs
-        # form the contiguous interval two searchsorted calls locate.
+        # form the contiguous interval two searchsorted calls locate.  A
+        # level compacted away entirely (legal mid-lifecycle: level i merged
+        # into i+1 leaves an empty level between populated neighbours) gets
+        # empty fence arrays — searchsorted then routes zero queries to it,
+        # so probe never special-cases the gap.  The dtype comes from the
+        # tree width, not ``level[0]``, which an empty level does not have.
+        dtype = np.int64 if width <= MAX_VECTOR_WIDTH else object
         self._fences = []
         for level in levels:
-            dtype = np.int64 if level[0].keys.is_vector else object
             mins = np.array([sst.min_key for sst in level], dtype=dtype)
             maxs = np.array([sst.max_key for sst in level], dtype=dtype)
             self._fences.append((mins, maxs))
@@ -172,7 +181,12 @@ class LSMTree:
     # Probing                                                            #
     # ------------------------------------------------------------------ #
 
-    def probe(self, queries, trace: ProbeTrace | None = None) -> ProbeResult:
+    def probe(
+        self,
+        queries,
+        trace: ProbeTrace | None = None,
+        sst_stats: dict[SSTable, SstStats] | None = None,
+    ) -> ProbeResult:
         """Replay a query batch through the tree and return the accounting.
 
         Per level, each query's fence-surviving SSTs form a contiguous
@@ -184,8 +198,12 @@ class LSMTree:
         :class:`~repro.obs.trace.ProbeEvent` — fence survival, filter
         verdict, charged block read, ground truth — whose totals reconcile
         exactly against the returned :class:`ProbeResult`
-        (``trace.reconcile(result)``).  The untraced path pays one ``is
-        None`` check per routed SST group and nothing else.
+        (``trace.reconcile(result)``).  ``sst_stats`` optionally
+        accumulates a :class:`~repro.lsm.cost.SstStats` per probed SST
+        (keyed by the SST object itself), the granularity the per-SST
+        drift monitors consume — pass the same dict across probes to
+        accumulate over a stream.  Both hooks cost one ``is None`` check
+        per routed SST group when unused.
         """
         batch = coerce_query_batch(queries, self.width)
         result = ProbeResult.zeros(len(batch), len(self.levels))
@@ -243,6 +261,16 @@ class LSMTree:
                 stats.required_reads += int(truth.sum())
                 stats.false_positive_reads += int((positives & ~truth).sum())
                 stats.missed_reads += int((truth & ~positives).sum())
+                if sst_stats is not None:
+                    per_sst = sst_stats.setdefault(sst, SstStats())
+                    per_sst.candidates += int(query_indices.size)
+                    per_sst.filter_probes += (
+                        int(query_indices.size) if filtered else 0
+                    )
+                    per_sst.blocks_read += int(positives.sum())
+                    per_sst.required_reads += int(truth.sum())
+                    per_sst.false_positive_reads += int((positives & ~truth).sum())
+                    per_sst.missed_reads += int((truth & ~positives).sum())
         return result
 
     # ------------------------------------------------------------------ #

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import asdict, dataclass
+from typing import Callable
 
 __all__ = ["DriftMonitor", "DriftReport", "predicted_tree_fpr"]
 
@@ -61,7 +62,11 @@ class DriftMonitor:
     ``predicted_fpr`` is the CPFPR prediction of the deployed design (a
     probability in [0, 1], frozen at build time); ``window`` bounds how
     many batches the observed rate averages over, so the monitor tracks
-    the *current* mix rather than the lifetime mean.
+    the *current* mix rather than the lifetime mean.  ``on_drift`` is the
+    actuator hook: a callable invoked with the flagging
+    :class:`DriftReport` whenever a batch trips the alarm — the
+    redesign/rebuild loop (:class:`repro.lsm.lifecycle.FilterLifecycle`)
+    plugs in here.
     """
 
     def __init__(
@@ -71,6 +76,7 @@ class DriftMonitor:
         abs_threshold: float = 0.05,
         rel_threshold: float = 0.5,
         min_empty: int = 64,
+        on_drift: "Callable[[DriftReport], None] | None" = None,
     ):
         if not 0.0 <= predicted_fpr <= 1.0:
             raise ValueError(f"predicted_fpr must be in [0, 1], got {predicted_fpr}")
@@ -85,6 +91,7 @@ class DriftMonitor:
         self.abs_threshold = float(abs_threshold)
         self.rel_threshold = float(rel_threshold)
         self.min_empty = min_empty
+        self.on_drift = on_drift
         self._batches: deque[tuple[int, int]] = deque(maxlen=window)
         self.num_batches = 0
         self.num_drift_flags = 0
@@ -134,6 +141,8 @@ class DriftMonitor:
         if drifted:
             self.num_drift_flags += 1
         self._last = report
+        if drifted and self.on_drift is not None:
+            self.on_drift(report)
         return report
 
     def observe_answers(self, answers, truth) -> DriftReport:

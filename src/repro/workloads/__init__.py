@@ -29,6 +29,7 @@ from repro.workloads.generators import (
     point_queries,
     random_keys,
     uniform_queries,
+    write_stream,
     zipf_keys,
 )
 
@@ -48,4 +49,5 @@ __all__ = [
     "correlated_queries",
     "mixed_queries",
     "generate_workload",
+    "write_stream",
 ]

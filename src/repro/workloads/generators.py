@@ -50,6 +50,7 @@ __all__ = [
     "KEY_DISTRIBUTIONS",
     "QUERY_FAMILIES",
     "generate_workload",
+    "write_stream",
 ]
 
 
@@ -177,6 +178,62 @@ def mixed_queries(
         + point_queries(rng, third, width)
         + correlated_queries(rng, keys, count - 2 * third, width)
     )
+
+
+# --------------------------------------------------------------------- #
+# Write streams                                                         #
+# --------------------------------------------------------------------- #
+
+
+def write_stream(
+    rng: random.Random,
+    num_batches: int,
+    batch_size: int,
+    width: int,
+    key_dist: str = "uniform",
+    delete_fraction: float = 0.1,
+) -> list[list[tuple[str, int]]]:
+    """Seeded batches of ``("put", key)`` / ``("del", key)`` operations.
+
+    The insert keys are drawn from ``key_dist`` (one of
+    :data:`KEY_DISTRIBUTIONS`) and arrive in shuffled order — the churn an
+    online LSM tree ingests.  Each op slot is a delete with probability
+    ``delete_fraction``, targeting a uniformly-chosen key that was inserted
+    earlier in the stream and is still live (no double deletes, no deletes
+    of never-inserted keys), so replaying the stream yields a well-defined
+    live set.  Returns ``num_batches`` lists of ``batch_size`` ops; the
+    same ``rng`` state always reproduces the same stream.
+    """
+    if num_batches < 0 or batch_size < 1:
+        raise ValueError("need a non-negative batch count and positive batch size")
+    if not 0.0 <= delete_fraction < 1.0:
+        raise ValueError(f"delete_fraction must be in [0, 1), got {delete_fraction}")
+    try:
+        make_keys = KEY_DISTRIBUTIONS[key_dist]
+    except KeyError:
+        raise ValueError(
+            f"unknown key distribution {key_dist!r}; "
+            f"expected one of {sorted(KEY_DISTRIBUTIONS)}"
+        ) from None
+    total_ops = num_batches * batch_size
+    fresh = make_keys(rng, total_ops, width)
+    rng.shuffle(fresh)
+    live: list[int] = []
+    batches: list[list[tuple[str, int]]] = []
+    cursor = 0
+    for _ in range(num_batches):
+        ops: list[tuple[str, int]] = []
+        for _ in range(batch_size):
+            if live and rng.random() < delete_fraction:
+                victim = live.pop(rng.randrange(len(live)))
+                ops.append(("del", victim))
+            else:
+                key = fresh[cursor]
+                cursor += 1
+                live.append(key)
+                ops.append(("put", key))
+        batches.append(ops)
+    return batches
 
 
 # --------------------------------------------------------------------- #

@@ -329,6 +329,68 @@ class TestBatchValidationParity:
         assert batch._validated  # coercion validated once; later calls skip it
 
 
+class TestMergeRunsParity:
+    """The compaction merge fast path (one concatenate + lexsort dedupe via
+    the ``merge_runs`` kernel) must equal the ``heapq.merge`` scalar
+    reference — same keys, same surviving tombstones, under every backend
+    and under the object-dtype wide-key fallback."""
+
+    def _seeded_runs(self, rng, width, num_runs=5):
+        from repro.lsm.merge import EntryRun
+        from repro.workloads.batch import EncodedKeySet
+
+        runs = []
+        for _ in range(num_runs):
+            keys = sorted(rng.sample(range(1 << min(width, 16)), rng.randrange(1, 400)))
+            tombstones = [rng.random() < 0.3 for _ in keys]
+            runs.append(EntryRun(EncodedKeySet(keys, width), np.array(tombstones)))
+        return runs
+
+    @pytest.mark.parametrize("backend", kernels.available_backends())
+    @pytest.mark.parametrize("drop", [False, True])
+    def test_fast_path_equals_heap_reference(self, backend, drop):
+        from repro.lsm.merge import merge_entry_runs, merge_entry_runs_scalar
+
+        rng = random.Random(76)
+        for trial in range(5):
+            runs = self._seeded_runs(rng, WIDTH)
+            with kernels.use_backend(backend):
+                fast = merge_entry_runs(runs, drop_tombstones=drop)
+            slow = merge_entry_runs_scalar(runs, drop_tombstones=drop)
+            assert fast.keys.as_list() == slow.keys.as_list(), (backend, trial)
+            assert (
+                fast.tombstone_mask().tolist() == slow.tombstone_mask().tolist()
+            ), (backend, trial)
+
+    def test_wide_key_space_falls_back_to_the_heap_reference(self):
+        from repro.lsm.merge import merge_entry_runs, merge_entry_runs_scalar
+
+        rng = random.Random(77)
+        runs = self._seeded_runs(rng, width=80, num_runs=3)
+        assert not runs[0].keys.is_vector
+        fast = merge_entry_runs(runs)
+        slow = merge_entry_runs_scalar(runs)
+        assert fast.keys.as_list() == slow.keys.as_list()
+        assert fast.tombstone_mask().tolist() == slow.tombstone_mask().tolist()
+
+    def test_merge_sorted_equals_heapq_over_plain_lists(self):
+        import heapq
+
+        from repro.lsm.sstable import SSTable
+        from repro.workloads.batch import EncodedKeySet
+
+        rng = random.Random(78)
+        lists = [
+            sorted(rng.sample(range(1 << 16), rng.randrange(1, 300)))
+            for _ in range(4)
+        ]
+        merged = SSTable.merge_sorted(
+            [EncodedKeySet(keys, WIDTH) for keys in lists]
+        )
+        reference = sorted(set(heapq.merge(*lists)))
+        assert merged.as_list() == reference
+
+
 def test_bloom_bulk_equals_scalar(workload):
     keys, _, probes = workload
     scalar = BloomFilter(20_000, len(keys), seed=5)

@@ -74,6 +74,51 @@ class TestGeometry:
             sst.attach_filter(narrow)
 
 
+class TestEmptyLevels:
+    """Regression: a level compacted away entirely (empty list between
+    populated levels) used to break fence construction — the dtype probe
+    indexed ``level[0]`` on a level with no SSTs."""
+
+    def _tree_with_gap(self) -> tuple[LSMTree, list[int], list[int]]:
+        shallow = list(range(100, 160))
+        deep = list(range(1000, 1100))
+        levels = [
+            [SSTable(0, 0, EncodedKeySet(shallow, WIDTH))],
+            [],  # level 1 merged wholesale into level 2, not yet refilled
+            [
+                SSTable(2, 0, EncodedKeySet(deep[:50], WIDTH)),
+                SSTable(2, 1, EncodedKeySet(deep[50:], WIDTH)),
+            ],
+        ]
+        return LSMTree(levels, WIDTH), shallow, deep
+
+    def test_probe_routes_around_the_gap(self):
+        tree, shallow, deep = self._tree_with_gap()
+        points = QueryBatch.points(shallow + deep, WIDTH)
+        result = tree.probe(points)
+        assert int(result.missed_reads.sum()) == 0
+        assert (result.required_reads == 1).all()
+        # The gap level contributes nothing — not even candidates.
+        assert result.per_level[1].candidates == 0
+        ranges = QueryBatch.from_pairs([(0, 1 << 20), (500, 900)], WIDTH)
+        spanning = tree.probe(ranges)
+        assert int(spanning.required_reads[0]) == 3  # all three SSTs match
+        assert int(spanning.required_reads[1]) == 0  # falls in the key gap
+
+    def test_filters_attach_across_the_gap(self, workload):
+        tree, shallow, deep = self._tree_with_gap()
+        tree.attach_filters(FilterSpec("bloom", 10.0), workload)
+        assert tree.filter_bits_per_level()[1] == 0
+        result = tree.probe(QueryBatch.points(shallow + deep, WIDTH))
+        assert int(result.missed_reads.sum()) == 0
+
+    def test_fully_empty_tree_is_still_rejected(self):
+        with pytest.raises(ValueError):
+            LSMTree([], WIDTH)
+        with pytest.raises(ValueError):
+            LSMTree([[], []], WIDTH)
+
+
 class TestFencePruning:
     def test_candidates_match_brute_force_fence_overlap(self, tree, workload):
         batch = workload.queries
