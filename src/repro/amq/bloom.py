@@ -22,7 +22,7 @@ import numpy as np
 
 from repro import kernels
 from repro.amq.bitarray import BitArray
-from repro.amq.hashing import hash_pair, premixed_pair_seeds
+from repro.amq.hashing import hash_bytes_pair, hash_pair, premixed_pair_seeds
 from repro.amq.interface import AMQ
 
 #: The paper caps the hash function count at 32 (Section 4.3, footnote 2).
@@ -185,6 +185,62 @@ class BloomFilter(AMQ):
     def contains(self, item: int) -> bool:
         bits = self.bits
         return all(bits.get(position) for position in self._positions(item))
+
+    # ------------------------------------------------------------------ #
+    # Byte-string items (the ByteKeySet canonical-prefix-bytes domain)   #
+    # ------------------------------------------------------------------ #
+
+    def _positions_bytes(self, data: bytes) -> Iterator[int]:
+        """Scalar probe positions for a byte item (same recurrence as ints)."""
+        h1, h2 = hash_bytes_pair(data, self.seed)
+        m = self.num_bits
+        x, y = h1 % m, h2 % m
+        yield x
+        for i in range(1, self.num_hashes):
+            x = (x + y) % m
+            y = (y + i) % m
+            yield x
+
+    def _hash_rows_pair(self, mat: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Row-parallel :func:`repro.amq.hashing.hash_bytes_pair`."""
+        # Imported here: repro.keys.bytestr pulls in the hashing substrate,
+        # which would otherwise close an import cycle through this module.
+        from repro.keys.bytestr import hash_rows
+
+        h1 = hash_rows(mat, self.seed)
+        h2 = hash_rows(mat, self.seed ^ 0x9E3779B97F4A7C15) | np.uint64(1)
+        return h1, h2
+
+    def add_bytes(self, data: bytes) -> None:
+        """Insert one byte-string item."""
+        self.bits.set_many(self._positions_bytes(data))
+        self._inserted += 1
+
+    def contains_bytes(self, data: bytes) -> bool:
+        """Scalar membership probe for a byte-string item."""
+        bits = self.bits
+        return all(bits.get(position) for position in self._positions_bytes(data))
+
+    def add_bytes_rows(self, mat: np.ndarray) -> None:
+        """Insert every row of a ``(n, nb)`` uint8 item matrix in bulk.
+
+        Bit-exact with ``add_bytes(bytes(row))`` per row: the row hash is
+        the vectorised :func:`~repro.amq.hashing.hash_bytes_64` and the
+        probe recurrence runs column-parallel.
+        """
+        if mat.shape[0]:
+            h1, h2 = self._hash_rows_pair(mat)
+            self.bits.set_many(self._positions_from_hashes(h1, h2))
+        self._inserted += int(mat.shape[0])
+
+    def contains_bytes_rows(self, mat: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`contains_bytes`: one boolean per row."""
+        if mat.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        h1, h2 = self._hash_rows_pair(mat)
+        positions = self._positions_from_hashes(h1, h2)
+        probed = self.bits.get_many(positions.ravel())
+        return probed.reshape(positions.shape).all(axis=0)
 
     def contains_many(self, items: Iterable[int]) -> np.ndarray:
         """Vectorised :meth:`contains`: one boolean per item.

@@ -55,6 +55,18 @@ def hash_int_64(value: int, seed: int = 0) -> int:
     return hash_bytes_64(value.to_bytes(num_bytes, "little"), seed)
 
 
+def hash_bytes_pair(data: bytes, seed: int = 0) -> tuple[int, int]:
+    """Double-hashing pair over a byte string (see :func:`hash_pair`).
+
+    The byte-mode Bloom paths hash canonical prefix *bytes* rather than
+    integer prefix values; this is the scalar twin of the row-parallel
+    :func:`repro.keys.bytestr.hash_rows` pair derivation.
+    """
+    h1 = hash_bytes_64(data, seed)
+    h2 = hash_bytes_64(data, seed ^ 0x9E3779B97F4A7C15) | 1
+    return h1, h2 & _MASK64
+
+
 def hash_pair(value: int, seed: int = 0) -> tuple[int, int]:
     """Return two independent 64-bit hashes of ``value`` for double hashing.
 

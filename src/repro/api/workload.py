@@ -16,9 +16,17 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping
 
-from repro.keys.keyspace import KeySpace
-from repro.workloads.batch import EncodedKeySet, QueryBatch
+import numpy as np
+
+from repro.keys.keyspace import KeySpace, StringKeySpace
+from repro.workloads.batch import (
+    EncodedKeySet,
+    QueryBatch,
+    coerce_keys,
+    coerce_query_batch,
+)
 from repro.workloads.generators import generate_workload
+from repro.workloads.keyset import KeySet
 
 __all__ = ["Workload"]
 
@@ -30,17 +38,26 @@ class Workload:
 
     def __init__(
         self,
-        keys: EncodedKeySet | Iterable,
+        keys: KeySet | Iterable,
         queries: QueryBatch | Iterable[tuple],
         key_space: KeySpace | None = None,
         metadata: Mapping | None = None,
     ):
-        if not isinstance(keys, EncodedKeySet):
-            if key_space is None:
-                raise ValueError(
-                    "raw keys need a key_space (or pass an EncodedKeySet)"
-                )
-            keys = EncodedKeySet.from_raw(keys, key_space)
+        if not isinstance(keys, KeySet):
+            concrete = keys if isinstance(keys, np.ndarray) else list(keys)
+            sample = concrete[0] if len(concrete) else None
+            if isinstance(sample, (bytes, str, np.bytes_)):
+                # Byte/str keys size their own space; no key_space needed.
+                width = key_space.width if key_space is not None else None
+                keys = coerce_keys(concrete, width)
+            elif key_space is None:
+                raise ValueError("raw keys need a key_space (or pass a KeySet)")
+            else:
+                keys = EncodedKeySet.from_raw(concrete, key_space)
+        if key_space is None and keys.is_bytes:
+            # Attach the matching string space so scalar raw-domain probes
+            # against built filters encode through the padded-integer view.
+            key_space = StringKeySpace((keys.width + 7) // 8)
         if key_space is not None and key_space.width != keys.width:
             raise ValueError(
                 f"key space width {key_space.width} does not match "
@@ -52,6 +69,10 @@ class Workload:
                     f"query batch width {queries.width} does not match "
                     f"key set width {keys.width}"
                 )
+        elif keys.is_bytes:
+            # Raw byte pairs become a ByteQueryBatch, padded-integer pairs a
+            # scalar-contract QueryBatch — coerce_query_batch dispatches.
+            queries = coerce_query_batch(list(queries), keys.width)
         elif key_space is not None:
             queries = QueryBatch.from_raw(queries, key_space)
         else:

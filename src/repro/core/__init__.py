@@ -7,7 +7,9 @@
 * :class:`~repro.core.prf.OnePBF` / :class:`~repro.core.prf.TwoPBF` — the
   one- and two-layer protean prefix Bloom filters.
 * :class:`~repro.core.proteus.Proteus` — the self-designing trie + Bloom
-  hybrid (``Proteus.build(keys, sample_queries, bits_per_key)``).
+  hybrid; build through :func:`repro.api.build_filter` or
+  ``Proteus.from_spec`` (the legacy ``.build`` classmethods are deprecated
+  shims that route there).
 """
 
 from repro.core.cpfpr import CPFPRModel

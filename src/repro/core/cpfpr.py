@@ -51,13 +51,21 @@ import numpy as np
 
 from repro.amq.bloom import bloom_fpr
 from repro.filters.prefix_bloom import DEFAULT_MAX_PROBES
+from repro.keys.bytestr import (
+    byte_slot_bounds,
+    lcp_bits_rows,
+    mask_rows,
+    rows_as_strings,
+)
 from repro.keys.lcp import MAX_VECTOR_WIDTH, query_set_lcp_many
 from repro.workloads.batch import (
     EncodedKeySet,
     QueryBatch,
+    coerce_keys,
     coerce_query_batch,
     slot_bounds,
 )
+from repro.workloads.bytekeys import ByteQueryBatch
 
 __all__ = ["CPFPRModel", "DEFAULT_MAX_PROBES"]
 
@@ -93,16 +101,14 @@ class CPFPRModel:
         setup_start = perf_counter() if metrics is not None else 0.0
         self.width = width
         self.max_probes = max_probes
-        if isinstance(keys, EncodedKeySet):
-            if keys.width != width:
-                raise ValueError(
-                    f"key set width {keys.width} does not match model width {width}"
-                )
-            keyset = keys
-        else:
-            keyset = EncodedKeySet(keys, width)
+        keyset = coerce_keys(keys, width)
         self._keyset = keyset
-        self.sorted_keys: list[int] = keyset.as_list()
+        self.is_bytes = keyset.is_bytes
+        #: Bit granularity Algorithm 1 should sweep layer depths at: byte
+        #: keys index and mask at byte boundaries, so sub-byte depths add
+        #: cost without adding resolution; the design loops read this.
+        self.design_step = 8 if keyset.is_bytes else 1
+        self.sorted_keys = keyset.as_list()
         #: ``prefix_counts[l] == |K_l|``, the number of distinct l-bit prefixes.
         self.prefix_counts = keyset.prefix_counts()
         batch = coerce_query_batch(queries, width)
@@ -114,7 +120,9 @@ class CPFPRModel:
             and batch.is_vector
         )
         self._empty_list: list[tuple[int, int, int]] | None = None
-        if self._vector:
+        if self.is_bytes:
+            self._setup_bytes(keyset, batch)
+        elif self._vector:
             lcps = query_set_lcp_many(keyset.keys, batch.los, batch.his, width)
             empty = lcps < width
             self._empty_lo = batch.los[empty]
@@ -153,26 +161,98 @@ class CPFPRModel:
         # trie gate depends only on l1, the slot interval and the certainty
         # mask only on l2 — Algorithm 1 revisits each dozens of times.
         self._gate_cache: dict[int, tuple] = {}
-        self._slot_cache: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._slot_cache: dict[int, tuple] = {}
         self._certain_cache: dict[int, np.ndarray] = {}
+
+    def _setup_bytes(self, keyset, batch) -> None:
+        """Byte-mode setup: exact emptiness and LCPs over the S-dtype views.
+
+        The padded S-dtype key array searchsorts in key order, so emptiness
+        is two searchsorted passes and ``lcp(q, K)`` is the rowwise byte-XOR
+        LCP against the predecessor of ``lo`` / successor of ``hi`` — the
+        same neighbour argument :func:`repro.keys.lcp.query_set_lcp` uses.
+        Byte mode always runs its own vectorised evaluators; ``vectorize``
+        has no scalar reference twin here.
+        """
+        width = self.width
+        if not isinstance(batch, ByteQueryBatch):
+            length = (width + 7) // 8
+            batch = ByteQueryBatch.from_pairs(
+                [
+                    (int(lo).to_bytes(length, "big"), int(hi).to_bytes(length, "big"))
+                    for lo, hi in batch.pairs()
+                ],
+                length,
+            )
+        keys_s = keyset.keys
+        matrix = keyset.matrix
+        lo_m, hi_m = batch.lo_matrix, batch.hi_matrix
+        lcps = np.full(len(batch), width, dtype=np.int64)
+        n = len(keyset)
+        if n and len(batch):
+            left = np.searchsorted(keys_s, batch.los, side="left")
+            right = np.searchsorted(keys_s, batch.his, side="right")
+            empty_rows = np.nonzero(right <= left)[0]
+            values = np.zeros(empty_rows.size, dtype=np.int64)
+            l_e, r_e = left[empty_rows], right[empty_rows]
+            has_left = l_e > 0
+            if has_left.any():
+                values[has_left] = lcp_bits_rows(
+                    matrix[l_e[has_left] - 1], lo_m[empty_rows[has_left]]
+                )
+            has_right = r_e < n
+            if has_right.any():
+                candidate = lcp_bits_rows(
+                    matrix[r_e[has_right]], hi_m[empty_rows[has_right]]
+                )
+                values[has_right] = np.maximum(values[has_right], candidate)
+            lcps[empty_rows] = values
+        else:
+            lcps[:] = 0 if len(batch) else width
+        empty = lcps < width
+        self._empty_lo_m = lo_m[empty]
+        self._empty_hi_m = hi_m[empty]
+        self._empty_lcp = lcps[empty]
+        histogram = np.bincount(self._empty_lcp, minlength=width + 1) if (
+            self._empty_lcp.size
+        ) else np.zeros(width + 1, dtype=np.int64)
+        suffix = np.zeros(width + 2, dtype=np.int64)
+        suffix[: width + 1] = np.cumsum(histogram[::-1])[::-1]
+        self._lcp_at_least = suffix.tolist()
 
     @property
     def empty_queries(self) -> list[tuple[int, int, int]]:
-        """Per empty query: ``(lo, hi, L)`` with ``L = lcp(q, K)`` (lazy list)."""
+        """Per empty query: ``(lo, hi, L)`` with ``L = lcp(q, K)`` (lazy list).
+
+        Byte mode renders the bounds as padded big-endian integers — the
+        scalar-loop convention for byte keys throughout the repo.
+        """
         if self._empty_list is None:
-            self._empty_list = list(
-                zip(
-                    self._empty_lo.tolist(),
-                    self._empty_hi.tolist(),
-                    self._empty_lcp.tolist(),
+            if self.is_bytes:
+                self._empty_list = [
+                    (
+                        int.from_bytes(lo.tobytes(), "big"),
+                        int.from_bytes(hi.tobytes(), "big"),
+                        lcp,
+                    )
+                    for lo, hi, lcp in zip(
+                        self._empty_lo_m, self._empty_hi_m, self._empty_lcp.tolist()
+                    )
+                ]
+            else:
+                self._empty_list = list(
+                    zip(
+                        self._empty_lo.tolist(),
+                        self._empty_hi.tolist(),
+                        self._empty_lcp.tolist(),
+                    )
                 )
-            )
         return self._empty_list
 
     @property
     def num_empty_queries(self) -> int:
-        if self._vector:
-            return int(self._empty_lo.size)
+        if self._vector or self.is_bytes:
+            return int(self._empty_lcp.size)
         return len(self._empty_list)
 
     def certain_fp_fraction(self, length: int) -> float:
@@ -219,6 +299,8 @@ class CPFPRModel:
             self.metrics.inc("cpfpr.evaluations")
         if not self.num_empty_queries:
             return 0.0
+        if self.is_bytes:
+            return self._proteus_fpr_bytes(l1, l2, bloom_bits)
         if self._vector:
             return self._proteus_fpr_vector(l1, l2, bloom_bits)
         return self._proteus_fpr_scalar(l1, l2, bloom_bits)
@@ -353,6 +435,75 @@ class CPFPRModel:
             total += float((1.0 - (1.0 - probe_fpr) ** probes).sum())
         return total / num_empty
 
+    # ------------------------------------------------------------------ #
+    # Byte-mode evaluators                                               #
+    # ------------------------------------------------------------------ #
+    #
+    # Byte-string key spaces run the same contextual decomposition over
+    # the uint8 matrix views: the trie gate is exact (masked-prefix
+    # searchsorted over the stored prefix rows) and the slot interval
+    # comes from the shared low-64 window machinery, mirroring the byte
+    # filters' clamp rule exactly.  One deliberate difference from the
+    # int64 evaluator: a gated query is charged its *whole* slot interval,
+    # because the byte-mode Proteus filter probes every l2-slot once its
+    # trie gate passes (it has no per-l1-block slot pruning) — the model
+    # mirrors the filter it predicts, not the int64 one.
+
+    def _byte_slot_info(self, length: int) -> tuple[np.ndarray, np.ndarray]:
+        """Per-query ``(num_slots, clamped)`` at prefix length ``length``.
+
+        ``num_slots`` is float64 — slot counts only feed probability
+        arithmetic here, and every unclamped count is far below 2**53.
+        """
+        info = self._slot_cache.get(length)
+        if info is None:
+            _, _, span, clamped = byte_slot_bounds(
+                self._empty_lo_m, self._empty_hi_m, length, self.max_probes
+            )
+            info = (span.astype(np.float64) + 1.0, clamped)
+            self._slot_cache[length] = info
+        return info
+
+    def _byte_gate(self, l1: int) -> np.ndarray:
+        """Exact trie gate: does a stored ``l1``-prefix intersect ``Q_l1``?"""
+        gate = self._gate_cache.get(l1)
+        if gate is None:
+            stored = rows_as_strings(self._keyset.prefixes(l1))
+            plo = rows_as_strings(mask_rows(self._empty_lo_m, l1))
+            phi = rows_as_strings(mask_rows(self._empty_hi_m, l1))
+            i = np.searchsorted(stored, plo, side="left")
+            j = np.searchsorted(stored, phi, side="right")
+            gate = j > i
+            self._gate_cache[l1] = gate
+        return gate
+
+    def _proteus_fpr_bytes(self, l1: int, l2: int, bloom_bits: int) -> float:
+        num_empty = self.num_empty_queries
+        gate = self._byte_gate(l1) if l1 else None
+        if l2 == 0:
+            return 1.0 if gate is None else float(gate.sum() / num_empty)
+        slots, clamped = self._byte_slot_info(l2)
+        certain = self._certain_mask(l2) | clamped
+        if gate is not None:
+            sure = gate & certain
+            active = gate & ~certain
+        else:
+            sure = certain
+            active = ~certain
+        total = float(sure.sum())
+        if active.any():
+            probe_fpr = self.bloom_probe_fpr(bloom_bits, l2)
+            total += float((1.0 - (1.0 - probe_fpr) ** slots[active]).sum())
+        return total / num_empty
+
+    def _layer_pass_probability_bytes(self, length: int, bits: int) -> np.ndarray:
+        """Byte-mode :meth:`_layer_pass_probability` (certain => probability 1)."""
+        p = self.bloom_probe_fpr(bits, length)
+        slots, clamped = self._byte_slot_info(length)
+        certain = self._certain_mask(length) | clamped
+        safe = np.where(certain, 0.0, slots)
+        return np.where(certain, 1.0, 1.0 - (1.0 - p) ** safe)
+
     def one_pbf_fpr(self, bloom_prefix_len: int, bloom_bits: int) -> float:
         """Expected FPR of a single-layer prefix Bloom filter (1PBF)."""
         return self.proteus_fpr(0, bloom_prefix_len, bloom_bits)
@@ -376,6 +527,10 @@ class CPFPRModel:
             self.metrics.inc("cpfpr.evaluations")
         if not self.num_empty_queries:
             return 0.0
+        if self.is_bytes:
+            total = self._layer_pass_probability_bytes(l1, first_bits)
+            total = total * self._layer_pass_probability_bytes(l2, second_bits)
+            return float(total.sum() / self.num_empty_queries)
         if self._vector:
             return self._two_pbf_fpr_vector(l1, l2, first_bits, second_bits)
         return self._two_pbf_fpr_scalar(l1, l2, first_bits, second_bits)

@@ -26,6 +26,10 @@ Each candidate evaluation is one call into the CPFPR model, which for
 word-sized key spaces is a handful of numpy operations over *all* sample
 queries (see :mod:`repro.core.cpfpr`) — the sweep is vectorised over
 queries, and these prunes bound how many sweeps run.
+
+Layer depths advance in ``model.design_step``-bit increments: 1 for
+integer key spaces, 8 for byte-string ones (where the structures index at
+byte granularity, so sub-byte depths add cost without adding resolution).
 """
 
 from __future__ import annotations
@@ -104,7 +108,8 @@ def design_proteus(
         return fallback
     candidates = pruned = 0
     best: FilterDesign | None = None
-    for trie_depth in range(width + 1):
+    step = getattr(model, "design_step", 1)
+    for trie_depth in range(0, width + 1, step):
         if best is not None and best.expected_fpr == 0.0:
             break  # nothing can beat a zero-FPR incumbent
         trie_bits = binary_trie_size_estimate(model.prefix_counts, trie_depth)
@@ -120,7 +125,7 @@ def design_proteus(
             )
         if bloom_budget < MIN_BLOOM_BITS:
             continue
-        for bloom_len in range(trie_depth + 1, width + 1):
+        for bloom_len in range(trie_depth + step, width + 1, step):
             if best.expected_fpr == 0.0:
                 break
             if model.certain_fp_fraction(bloom_len) >= best.expected_fpr:
@@ -153,7 +158,8 @@ def design_one_pbf(
         return fallback
     candidates = pruned = 0
     best: FilterDesign | None = None
-    for bloom_len in range(1, width + 1):
+    step = getattr(model, "design_step", 1)
+    for bloom_len in range(step, width + 1, step):
         if best is not None and model.certain_fp_fraction(bloom_len) >= best.expected_fpr:
             pruned += 1
             continue
@@ -189,8 +195,9 @@ def design_two_pbf(
         return fallback
     candidates = pruned = 0
     best: FilterDesign | None = None
-    for first_len in range(1, width):
-        for second_len in range(first_len + 1, width + 1):
+    step = getattr(model, "design_step", 1)
+    for first_len in range(step, width, step):
+        for second_len in range(first_len + step, width + 1, step):
             if (
                 best is not None
                 and model.certain_fp_fraction(second_len) >= best.expected_fpr

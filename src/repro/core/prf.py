@@ -16,6 +16,7 @@ CPFPR model + Algorithm 1 first.
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -24,9 +25,16 @@ from repro.core.cpfpr import DEFAULT_MAX_PROBES, CPFPRModel
 from repro.core.design import FilterDesign, design_one_pbf, design_two_pbf
 from repro.filters.base import RangeFilter, check_spec_params, resolve_spec_inputs
 from repro.filters.prefix_bloom import PrefixBloomFilter
-from repro.keys.keyspace import IntegerKeySpace, KeySpace, sorted_distinct_keys
+from repro.keys.keyspace import IntegerKeySpace, KeySpace, StringKeySpace
 from repro.obs.metrics import timed
-from repro.workloads.batch import EncodedKeySet, QueryBatch, as_key_array, coerce_query_batch
+from repro.workloads.batch import (
+    EncodedKeySet,
+    QueryBatch,
+    as_key_array,
+    coerce_keys,
+    coerce_query_batch,
+)
+from repro.workloads.keyset import KeySet
 
 
 def prepare_workload(
@@ -38,21 +46,40 @@ def prepare_workload(
     """Encode a raw workload into a shared key space, shared by every builder.
 
     Returns ``(space, key_set, query_batch, total_bits)`` where the bit
-    budget is ``bits_per_key`` times the number of *distinct* keys.  An
-    :class:`EncodedKeySet` / :class:`QueryBatch` passed in is adopted as-is
-    (already encoded — ``key_space`` then defaults to an integer space of
-    the matching width); raw iterables are encoded through ``key_space``.
+    budget is ``bits_per_key`` times the number of *distinct* keys.  A
+    :class:`~repro.workloads.keyset.KeySet` / :class:`QueryBatch` passed in
+    is adopted as-is (already encoded — ``key_space`` then defaults to an
+    integer or string space of the matching width); raw iterables dispatch
+    on their first element: byte/str keys become a
+    :class:`~repro.workloads.ByteKeySet` under a
+    :class:`~repro.keys.keyspace.StringKeySpace`, integers are encoded
+    through ``key_space``.
     """
-    if isinstance(keys, EncodedKeySet):
-        space = key_space if key_space is not None else IntegerKeySpace(keys.width)
+    if isinstance(keys, KeySet):
+        if key_space is not None:
+            space = key_space
+        elif keys.is_bytes:
+            space = StringKeySpace((keys.width + 7) // 8)
+        else:
+            space = IntegerKeySpace(keys.width)
         if space.width != keys.width:
             raise ValueError(
                 f"key set width {keys.width} does not match key space width {space.width}"
             )
         key_set = keys
     else:
-        space = key_space if key_space is not None else IntegerKeySpace(64)
-        key_set = EncodedKeySet(space.encode_many(keys), space.width)
+        concrete = keys if isinstance(keys, np.ndarray) else list(keys)
+        sample = concrete[0] if len(concrete) else None
+        if isinstance(sample, (bytes, str, np.bytes_)):
+            space = (
+                key_space
+                if key_space is not None
+                else StringKeySpace.for_keys(list(concrete))
+            )
+            key_set = coerce_keys(concrete, space.width)
+        else:
+            space = key_space if key_space is not None else IntegerKeySpace(64)
+            key_set = EncodedKeySet(space.encode_many(concrete), space.width)
     if isinstance(sample_queries, QueryBatch):
         if sample_queries.width != space.width:
             raise ValueError(
@@ -60,6 +87,10 @@ def prepare_workload(
                 f"key space width {space.width}"
             )
         query_batch = sample_queries
+    elif key_set.is_bytes:
+        # Raw byte/str pairs become a ByteQueryBatch; padded-integer pairs
+        # stay a scalar-contract QueryBatch — coerce_query_batch dispatches.
+        query_batch = coerce_query_batch(list(sample_queries), space.width)
     else:
         query_batch = QueryBatch.from_pairs(
             [(space.encode(lo), space.encode(hi)) for lo, hi in sample_queries],
@@ -83,6 +114,12 @@ def _build_via_spec(
     workload once and delegate to the registry protocol's ``from_spec``."""
     from repro.api import FilterSpec, Workload  # api sits above core
 
+    warnings.warn(
+        f"{cls.__name__}.build is deprecated; construct through "
+        f"repro.api.build_filter or {cls.__name__}.from_spec instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
     space, key_set, query_batch, _ = prepare_workload(
         keys, sample_queries, key_space, bits_per_key
     )
@@ -114,7 +151,7 @@ class OnePBF(PrefixBloomFilter):
         with timed(metrics, "build.design_seconds"):
             design = design_one_pbf(model, total_bits, metrics)
         instance = cls(
-            key_set.keys,
+            key_set,
             key_set.width,
             design.bloom_prefix_len,
             design.bloom_bits,
@@ -180,14 +217,18 @@ class TwoPBF(RangeFilter):
                 f"({first_prefix_len}, {second_prefix_len})"
             )
         self.width = width
-        distinct_keys = sorted_distinct_keys(keys, width)
-        self.num_keys = len(distinct_keys)
+        key_set = coerce_keys(keys, width)
+        self.num_keys = len(key_set)
+        self.is_bytes = key_set.is_bytes
+        # Both layers share one key set (and its prefix cache); each hashes
+        # the representation-correct items — prefix ints or canonical
+        # prefix bytes — through its own independent seed.
         self._first = PrefixBloomFilter(
-            distinct_keys, width, first_prefix_len, first_bits,
+            key_set, width, first_prefix_len, first_bits,
             max_probes=max_probes, seed=seed,
         )
         self._second = PrefixBloomFilter(
-            distinct_keys, width, second_prefix_len, second_bits,
+            key_set, width, second_prefix_len, second_bits,
             max_probes=max_probes, seed=seed ^ 0x5DEECE66D,
         )
 
@@ -228,7 +269,7 @@ class TwoPBF(RangeFilter):
                 model.two_pbf_fpr(first_len, second_len, first_bits, second_bits),
             )
         instance = cls(
-            key_set.keys,
+            key_set,
             key_set.width,
             design.trie_depth,
             design.bloom_prefix_len,
@@ -277,6 +318,14 @@ class TwoPBF(RangeFilter):
         return self._first.may_intersect(lo, hi) and self._second.may_intersect(lo, hi)
 
     def may_contain_many(self, keys) -> np.ndarray:
+        if self.is_bytes:
+            # Keep the byte representation: each layer resolves its own
+            # probe matrix (as_key_array would detour through padded ints).
+            if not isinstance(keys, (KeySet, np.ndarray)):
+                keys = list(keys)  # materialise once: both layers consume it
+            return self._first.may_contain_many(keys) & self._second.may_contain_many(
+                keys
+            )
         arr = as_key_array(keys)  # materialise once: both layers consume it
         return self._first.may_contain_many(arr) & self._second.may_contain_many(arr)
 

@@ -24,6 +24,16 @@ them is exact).  Queries spanning more than ``max_probes`` ``l2``-prefixes
 return a conservative ``True``.  Every positive produced this way either
 reflects a real key prefix or a Bloom/trie over-approximation — never a
 dropped key — so the filter has **zero false negatives** by construction.
+
+Byte-string key sets (:class:`~repro.workloads.ByteKeySet`) build the same
+two layers over canonical prefix *bytes*: the trie becomes a
+:class:`~repro.trie.sorted_index.SortedBytePrefixIndex` (so
+``trie_impl="sorted"`` only) and the Bloom layer hashes
+:func:`~repro.keys.bytestr.prefix_item_bytes` items.  One semantic
+difference: the byte range path probes every covered ``l2``-slot once the
+trie gate passes, with no per-slot ``l1`` pruning — the CPFPR byte
+evaluator charges precisely that probe set, so the model still predicts
+the filter it designs.
 """
 
 from __future__ import annotations
@@ -42,13 +52,25 @@ from repro.filters.base import (
     ragged_ranges,
     resolve_spec_inputs,
 )
-from repro.keys.keyspace import KeySpace, sorted_distinct_keys
+from repro.keys.bytestr import (
+    byte_slot_bounds,
+    expand_slot_rows,
+    mask_rows,
+    prefix_item_bytes,
+    scalar_slot_clamped,
+)
+from repro.keys.keyspace import KeySpace
 from repro.keys.lcp import MAX_VECTOR_WIDTH
-from repro.keys.prefix import distinct_prefixes
 from repro.obs.metrics import timed
 from repro.trie.fst import FSTPrefixIndex
-from repro.trie.sorted_index import SortedPrefixIndex
-from repro.workloads.batch import as_key_array, coerce_query_batch, slot_bounds
+from repro.trie.sorted_index import SortedBytePrefixIndex, SortedPrefixIndex
+from repro.workloads.batch import (
+    as_key_array,
+    coerce_keys,
+    coerce_query_batch,
+    slot_bounds,
+)
+from repro.workloads.bytekeys import ByteQueryBatch, byte_probe_matrix
 
 
 class Proteus(RangeFilter):
@@ -84,15 +106,32 @@ class Proteus(RangeFilter):
         self.design = design
         self.max_probes = max_probes
         self.trie_impl = trie_impl
-        distinct_keys = sorted_distinct_keys(keys, width)
-        self.num_keys = len(distinct_keys)
+        key_set = coerce_keys(keys, width)
+        self.num_keys = len(key_set)
+        self.is_bytes = key_set.is_bytes
+        if self.is_bytes and trie_impl != "sorted":
+            raise ValueError(
+                "byte-string key sets support trie_impl='sorted' only"
+            )
         l1, l2 = design.trie_depth, design.bloom_prefix_len
-        self._trie: SortedPrefixIndex | FSTPrefixIndex | None = None
+        self._trie: SortedPrefixIndex | SortedBytePrefixIndex | FSTPrefixIndex | None
+        self._trie = None
+        self._bloom: BloomFilter | None = None
+        if self.is_bytes:
+            if l1 > 0:
+                self._trie = SortedBytePrefixIndex(key_set.prefixes(l1), l1, width)
+            if l2 > 0:
+                rows = key_set.prefixes(l2)
+                self._bloom = BloomFilter(
+                    max(1, design.bloom_bits), max(1, int(rows.shape[0])), seed=seed
+                )
+                self._bloom.add_bytes_rows(rows)
+            return
+        distinct_keys = key_set.as_list()
         if l1 > 0:
             self._trie = self.TRIE_IMPLS[trie_impl].from_keys(distinct_keys, l1, width)
-        self._bloom: BloomFilter | None = None
         if l2 > 0:
-            prefixes = distinct_prefixes(distinct_keys, l2, width)
+            prefixes = key_set.prefixes(l2)
             self._bloom = BloomFilter(
                 max(1, design.bloom_bits), max(1, int(prefixes.size)), seed=seed
             )
@@ -125,7 +164,7 @@ class Proteus(RangeFilter):
             design = design_proteus(model, total_bits, metrics)
         with timed(metrics, "build.instantiate_seconds"):
             instance = cls(
-                key_set.keys, key_set.width, design,
+                key_set, key_set.width, design,
                 max_probes=max_probes, seed=int(params.get("seed", 0)),
                 trie_impl=str(params.get("trie_impl", "sorted")),
             )
@@ -173,7 +212,10 @@ class Proteus(RangeFilter):
             return False
         if self._bloom is not None:
             l2 = self.design.bloom_prefix_len
-            return self._bloom.contains(encoded >> (self.width - l2))
+            prefix = encoded >> (self.width - l2)
+            if self.is_bytes:
+                return self._bloom.contains_bytes(prefix_item_bytes(prefix, l2))
+            return self._bloom.contains(prefix)
         return True
 
     def may_intersect(self, lo, hi) -> bool:
@@ -193,6 +235,17 @@ class Proteus(RangeFilter):
         l1, l2 = self.design.trie_depth, self.design.bloom_prefix_len
         shift = self.width - l2
         plo, phi = lo >> shift, hi >> shift
+        if self.is_bytes:
+            # Byte mode probes every covered slot once the trie gate passes —
+            # no per-slot l1 pruning — exactly the behaviour the CPFPR byte
+            # evaluator charges, so the model predicts this filter, not the
+            # integer one.
+            if scalar_slot_clamped(plo, phi, l2, self.max_probes):
+                return True  # probe clamp: conservative positive
+            return any(
+                bloom.contains_bytes(prefix_item_bytes(prefix, l2))
+                for prefix in range(plo, phi + 1)
+            )
         if phi - plo + 1 > self.max_probes:
             return True  # probe clamp: conservative positive (modelled as such)
         gap = l2 - l1
@@ -205,6 +258,30 @@ class Proteus(RangeFilter):
 
     def may_contain_many(self, keys) -> np.ndarray:
         """Batched :meth:`may_contain` over *encoded* keys."""
+        if self.is_bytes:
+            mat = byte_probe_matrix(keys, self.width)
+            if mat is not None:
+                if self.num_keys == 0:
+                    return np.zeros(mat.shape[0], dtype=bool)
+                out = np.ones(mat.shape[0], dtype=bool)
+                if self._trie is not None:
+                    out &= self._trie.contains_rows(
+                        mask_rows(mat, self.design.trie_depth)
+                    )
+                if self._bloom is not None:
+                    out &= self._bloom.contains_bytes_rows(
+                        mask_rows(mat, self.design.bloom_prefix_len)
+                    )
+                return out
+            # Non-matrix probes against a byte filter take the scalar loop:
+            # the int64 fast path below hashes integer items, not prefix
+            # bytes, and would disagree with the byte-built Bloom layer.
+            arr = as_key_array(keys)
+            return np.fromiter(
+                (self._may_contain_encoded(key) for key in arr.tolist()),
+                dtype=bool,
+                count=arr.size,
+            )
         arr = as_key_array(keys)
         if arr.dtype == object or self.width > MAX_VECTOR_WIDTH:
             return np.fromiter(
@@ -223,9 +300,47 @@ class Proteus(RangeFilter):
             out &= self._bloom.contains_many(arr >> shift2)
         return out
 
+    def _may_intersect_bytes(self, batch: ByteQueryBatch) -> np.ndarray:
+        """Byte-mode batch ranges: trie gate, then slot-window Bloom probes.
+
+        The gate is interval-level only; every covered ``l2``-slot of a gated
+        unclamped query is probed (no per-slot ``l1`` pruning), mirroring the
+        scalar byte path and the CPFPR byte evaluator's probe accounting.
+        """
+        n = len(batch)
+        if self.num_keys == 0:
+            return np.zeros(n, dtype=bool)
+        lo_m, hi_m = batch.lo_matrix, batch.hi_matrix
+        gate = (
+            self._trie.overlaps_matrix(lo_m, hi_m)
+            if self._trie is not None
+            else np.ones(n, dtype=bool)
+        )
+        if self._bloom is None:
+            return gate
+        l2 = self.design.bloom_prefix_len
+        plo_rows, base, span, clamped = byte_slot_bounds(
+            lo_m, hi_m, l2, self.max_probes
+        )
+        out = gate & clamped  # clamped gated queries: conservative positive
+        rows = np.flatnonzero(gate & ~clamped)
+        if rows.size:
+            slot_rows, offsets = expand_slot_rows(plo_rows, base, span, l2, rows)
+            hits = self._bloom.contains_bytes_rows(slot_rows)
+            out[rows] = np.logical_or.reduceat(hits, offsets[:-1])
+        return out
+
     def may_intersect_many(self, queries) -> np.ndarray:
         """Batched :meth:`may_intersect` over *encoded* range queries."""
         batch = coerce_query_batch(queries, self.width)
+        if self.is_bytes:
+            if isinstance(batch, ByteQueryBatch):
+                return self._may_intersect_bytes(batch)
+            return np.fromiter(
+                (self._may_intersect_encoded(lo, hi) for lo, hi in batch.pairs()),
+                dtype=bool,
+                count=len(batch),
+            )
         if not batch.is_vector:
             return np.fromiter(
                 (self._may_intersect_encoded(lo, hi) for lo, hi in batch.pairs()),

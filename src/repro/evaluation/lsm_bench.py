@@ -59,6 +59,7 @@ from repro.lsm import CostModel, LSMTree
 from repro.obs.drift import DriftMonitor, predicted_tree_fpr
 from repro.obs.metrics import MetricsRegistry, timed
 from repro.obs.trace import ProbeTrace
+from repro.workloads.datasets import list_datasets, load_dataset
 
 __all__ = ["DEFAULT_FAMILIES", "run_lsm_bench", "check_report", "main"]
 
@@ -143,6 +144,7 @@ def run_lsm_bench(
     metrics: MetricsRegistry | None = None,
     trace_sample: int = 0,
     drift_batches: int = 8,
+    dataset: str | None = None,
 ) -> dict:
     """Run every configuration over one shared tree; return the JSON report.
 
@@ -153,6 +155,9 @@ def run_lsm_bench(
     splits each filtered config's evaluation into that many batches for an
     online :class:`~repro.obs.drift.DriftMonitor` comparison of observed vs
     CPFPR-predicted FPR (families without a prediction are skipped).
+    ``dataset`` swaps the synthetic workload for a named loader from
+    :mod:`repro.workloads.datasets` — the tree build, the budget split,
+    and the probe accounting below are representation-blind.
     """
     for name in families:
         if family_entry(name).budget_free:
@@ -161,14 +166,17 @@ def run_lsm_bench(
                 f"per-SST budget comparison"
             )
     model = cost_model or CostModel()
-    workload = Workload.generate(
-        num_keys,
-        num_queries,
-        width,
-        seed=seed,
-        key_dist=key_dist,
-        query_family=query_family,
-    )
+    if dataset is not None:
+        workload = load_dataset(dataset, num_keys, num_queries, seed=seed)
+    else:
+        workload = Workload.generate(
+            num_keys,
+            num_queries,
+            width,
+            seed=seed,
+            key_dist=key_dist,
+            query_family=query_family,
+        )
     eval_batch = held_out_queries(
         workload, num_eval_queries or num_queries, seed + 1, query_family
     )
@@ -325,6 +333,13 @@ def main(argv: list[str] | None = None) -> int:
         choices=("uniform", "point", "correlated", "mixed"),
     )
     parser.add_argument(
+        "--dataset",
+        default=None,
+        choices=list_datasets(),
+        help="swap the synthetic workload for a named dataset loader "
+        "(overrides --width/--key-dist/--query-family; static mode only)",
+    )
+    parser.add_argument(
         "--sst-keys", type=int, default=512, help="SST capacity in keys"
     )
     parser.add_argument(
@@ -444,6 +459,8 @@ def main(argv: list[str] | None = None) -> int:
         help="empty trials a per-SST window needs before it may flag",
     )
     args = parser.parse_args(argv)
+    if args.timeline and args.dataset:
+        parser.error("--dataset applies to the static benchmark only")
     metrics = MetricsRegistry() if args.metrics_out else None
     kernels.attach_metrics(metrics)  # kernels.dispatch.{backend}.{kernel}
     try:
@@ -489,6 +506,7 @@ def main(argv: list[str] | None = None) -> int:
                 metrics=metrics,
                 trace_sample=args.trace_sample,
                 drift_batches=args.drift_batches,
+                dataset=args.dataset,
             )
     finally:
         kernels.attach_metrics(None)

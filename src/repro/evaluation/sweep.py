@@ -38,6 +38,7 @@ from repro.api import FilterSpec, Workload, build_filter, family as family_entry
 from repro.filters.base import TrieOracle
 from repro.obs.metrics import MetricsRegistry, timed
 from repro.workloads.batch import QueryBatch
+from repro.workloads.datasets import dataset_queries, list_datasets, load_dataset
 from repro.workloads.generators import QUERY_FAMILIES
 
 __all__ = ["held_out_queries", "run_sweep", "check_monotone", "plot_report", "main"]
@@ -55,8 +56,14 @@ def held_out_queries(
     """A fresh query batch from the same family the workload sampled.
 
     Seeded independently of the design sample, so empirical FPR is measured
-    on queries the self-designing families never saw.
+    on queries the self-designing families never saw.  Dataset workloads
+    (built by :func:`repro.workloads.datasets.load_dataset`) re-draw from
+    their own query sampler instead — the dataset name rides in the
+    workload metadata, so the grading loop needs no representation branch.
     """
+    dataset = workload.metadata.get("dataset")
+    if dataset is not None:
+        return dataset_queries(dataset, workload.keys, count, seed)
     make_queries = QUERY_FAMILIES[query_family]
     rng = random.Random(seed)
     pairs = make_queries(rng, workload.keys.as_list(), count, workload.width)
@@ -75,6 +82,7 @@ def run_sweep(
     query_family: str = "mixed",
     base_params: dict[str, dict] | None = None,
     metrics: MetricsRegistry | None = None,
+    dataset: str | None = None,
 ) -> dict:
     """Build every family at every budget and return the JSON-ready report.
 
@@ -82,7 +90,10 @@ def run_sweep(
     parameters (applied at every grid point); budgets come from ``grid``.
     ``metrics`` threads a :class:`~repro.obs.metrics.MetricsRegistry`
     through every build and times the held-out grading; the report then
-    grows a ``metrics`` section.
+    grows a ``metrics`` section.  ``dataset`` swaps the synthetic workload
+    for a named loader from :mod:`repro.workloads.datasets` (``width``,
+    ``key_dist`` and ``query_family`` are then the dataset's own; the
+    grading loop below is identical either way).
     """
     if not families:
         raise ValueError("need at least one filter family to sweep")
@@ -93,10 +104,14 @@ def run_sweep(
             raise ValueError(
                 f"family {name!r} ignores the bit budget; it cannot be swept"
             )
-    workload = Workload.generate(
-        num_keys, num_queries, width, seed=seed,
-        key_dist=key_dist, query_family=query_family,
-    )
+    if dataset is not None:
+        workload = load_dataset(dataset, num_keys, num_queries, seed=seed)
+        width = workload.width
+    else:
+        workload = Workload.generate(
+            num_keys, num_queries, width, seed=seed,
+            key_dist=key_dist, query_family=query_family,
+        )
     eval_batch = held_out_queries(
         workload, num_eval_queries or num_queries, seed + 1, query_family
     )
@@ -237,6 +252,11 @@ def main(argv: list[str] | None = None) -> int:
         "--query-family", default="mixed",
         choices=("uniform", "point", "correlated", "mixed"),
     )
+    parser.add_argument(
+        "--dataset", default=None, choices=list_datasets(),
+        help="swap the synthetic workload for a named dataset loader "
+        "(overrides --width/--key-dist/--query-family)",
+    )
     parser.add_argument("--output", default=None, help="write the JSON report here")
     parser.add_argument(
         "--metrics-out", default=None,
@@ -266,6 +286,7 @@ def main(argv: list[str] | None = None) -> int:
             key_dist=args.key_dist,
             query_family=args.query_family,
             metrics=metrics,
+            dataset=args.dataset,
         )
     finally:
         kernels.attach_metrics(None)

@@ -22,10 +22,11 @@ from typing import Iterable, Optional
 
 import numpy as np
 
-from repro.keys.keyspace import KeySpace, sorted_distinct_keys
+from repro.keys.keyspace import KeySpace
 from repro.keys.lcp import MAX_VECTOR_WIDTH
 from repro.trie.node_trie import ByteTrie
-from repro.workloads.batch import EncodedKeySet, as_key_array, coerce_query_batch
+from repro.workloads.batch import as_key_array, coerce_keys, coerce_query_batch
+from repro.workloads.keyset import KeySet
 
 #: Key width assumed by ``from_spec`` when neither a workload, an
 #: :class:`EncodedKeySet`, nor a ``width`` spec parameter pins one — the
@@ -51,32 +52,42 @@ def check_spec_params(spec, allowed: Iterable[str]) -> dict:
     return dict(spec.params)
 
 
-def resolve_spec_inputs(spec, keys, workload) -> tuple[EncodedKeySet, int]:
+def resolve_spec_inputs(spec, keys, workload) -> tuple[KeySet, int]:
     """Resolve the shared ``from_spec`` inputs: ``(key_set, total_bits)``.
 
-    ``keys`` may be ``None`` (build over the workload's key set), an
-    :class:`EncodedKeySet`, or a raw iterable — raw keys are encoded through
-    the workload's key space when one is attached (the LSM per-SST case:
-    one workload, many raw key subsets), otherwise interpreted as already
-    encoded in a ``width``-bit space taken from the workload, the ``width``
-    spec parameter, or the 64-bit default.  The bit budget is
-    ``bits_per_key`` times the number of *distinct* keys, exactly as
-    :func:`repro.core.prf.prepare_workload` computes it.
+    ``keys`` may be ``None`` (build over the workload's key set), any
+    :class:`~repro.workloads.keyset.KeySet`, or a raw iterable — raw
+    integer keys are encoded through the workload's key space when one is
+    attached (the LSM per-SST case: one workload, many raw key subsets),
+    otherwise interpreted as already encoded in a ``width``-bit space taken
+    from the workload, the ``width`` spec parameter, or the 64-bit default;
+    raw byte/str keys become a :class:`~repro.workloads.ByteKeySet`
+    directly.  The bit budget is ``bits_per_key`` times the number of
+    *distinct* keys, exactly as :func:`repro.core.prf.prepare_workload`
+    computes it.
     """
     if keys is None:
         if workload is None:
             raise ValueError("from_spec needs keys, a workload, or both")
         key_set = workload.keys
-    elif isinstance(keys, EncodedKeySet):
+    elif isinstance(keys, KeySet):
         key_set = keys
     else:
+        concrete = keys if isinstance(keys, np.ndarray) else list(keys)
+        sample = concrete[0] if len(concrete) else None
+        raw_bytes = isinstance(sample, (bytes, str, np.bytes_))
         if workload is not None:
             width = workload.width
-            if workload.key_space is not None:
-                keys = workload.key_space.encode_many(keys)
+            if workload.key_space is not None and not raw_bytes:
+                concrete = workload.key_space.encode_many(concrete)
         else:
-            width = int(spec.params.get("width", DEFAULT_SPEC_WIDTH))
-        key_set = EncodedKeySet(keys, width)
+            param = spec.params.get("width")
+            if param is not None:
+                width = int(param)
+            else:
+                # Byte keys size their own space; integers take the default.
+                width = None if raw_bytes else DEFAULT_SPEC_WIDTH
+        key_set = coerce_keys(concrete, width)
     if workload is not None and workload.width != key_set.width:
         raise ValueError(
             f"key set width {key_set.width} does not match "
@@ -220,18 +231,26 @@ class TrieOracle(RangeFilter):
     whenever the oracle's is.
     """
 
-    def __init__(self, keys: Iterable[int], width: int):
+    def __init__(self, keys, width: int):
         if width <= 0:
             raise ValueError("key width must be positive")
         self.width = width
-        encoded = sorted_distinct_keys(keys, width)
-        self.num_keys = len(encoded)
-        self._trie = ByteTrie(key_to_bytes(key, width) for key in encoded)
-        # Word-sized key sets keep a sorted array view so batch answers are
-        # two searchsorted calls instead of a trie walk per query.
-        self._sorted: np.ndarray | None = (
-            np.array(encoded, dtype=np.int64) if width <= MAX_VECTOR_WIDTH else None
-        )
+        key_set = coerce_keys(keys, width)
+        self.num_keys = len(key_set)
+        if key_set.is_bytes:
+            length = (width + 7) // 8
+            self._trie = ByteTrie(
+                key.ljust(length, b"\x00") for key in key_set.as_list()
+            )
+            # The padded S-dtype array searchsorts in key order directly.
+            self._sorted: np.ndarray | None = key_set.keys
+        else:
+            self._trie = ByteTrie(
+                key_to_bytes(key, width) for key in key_set.as_list()
+            )
+            # Word-sized key sets keep a sorted array view so batch answers
+            # are two searchsorted calls instead of a trie walk per query.
+            self._sorted = key_set.keys if width <= MAX_VECTOR_WIDTH else None
 
     @classmethod
     def from_spec(cls, spec, keys=None, workload=None) -> "TrieOracle":
@@ -243,7 +262,7 @@ class TrieOracle(RangeFilter):
         """
         check_spec_params(spec, ())
         key_set, _ = resolve_spec_inputs(spec, keys, workload)
-        return cls(key_set.keys, key_set.width)
+        return cls(key_set, key_set.width)
 
     def may_contain(self, key: int) -> bool:
         if self.num_keys == 0:
@@ -259,6 +278,14 @@ class TrieOracle(RangeFilter):
         )
 
     def may_contain_many(self, keys) -> np.ndarray:
+        if self._sorted is not None and self._sorted.dtype.kind == "S":
+            # Byte mode: probe the padded S-dtype view (memcmp == key order).
+            arr = keys.keys if isinstance(keys, KeySet) else np.asarray(keys)
+            if arr.dtype.kind == "S" and self.num_keys:
+                idx = np.searchsorted(self._sorted, arr, side="left")
+                safe = np.minimum(idx, self.num_keys - 1)
+                return (idx < self.num_keys) & (self._sorted[safe] == arr)
+            return super().may_contain_many(keys)
         arr = as_key_array(keys)
         if self._sorted is None or arr.dtype == object or self.num_keys == 0:
             return super().may_contain_many(arr)
@@ -268,7 +295,13 @@ class TrieOracle(RangeFilter):
 
     def may_intersect_many(self, queries) -> np.ndarray:
         batch = coerce_query_batch(queries, self.width)
-        if self._sorted is None or not batch.is_vector or self.num_keys == 0:
+        byte_batch = batch.los.dtype.kind == "S"
+        if (
+            self._sorted is None
+            or self.num_keys == 0
+            or (self._sorted.dtype.kind == "S") != byte_batch
+            or not (batch.is_vector or byte_batch)
+        ):
             return super().may_intersect_many(batch)
         # [lo, hi] contains a key iff the first key >= lo exists and is <= hi.
         idx = np.searchsorted(self._sorted, batch.los, side="left")

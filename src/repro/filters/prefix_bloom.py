@@ -26,10 +26,16 @@ from repro.filters.base import (
     ragged_ranges,
     resolve_spec_inputs,
 )
-from repro.keys.keyspace import sorted_distinct_keys
+from repro.keys.bytestr import (
+    byte_slot_bounds,
+    expand_slot_rows,
+    prefix_item_bytes,
+    scalar_slot_clamped,
+)
 from repro.keys.lcp import MAX_VECTOR_WIDTH
-from repro.keys.prefix import distinct_prefixes, prefix_of, prefix_range
-from repro.workloads.batch import as_key_array, coerce_query_batch, slot_bounds
+from repro.keys.prefix import prefix_of, prefix_range
+from repro.workloads.batch import as_key_array, coerce_keys, coerce_query_batch, slot_bounds
+from repro.workloads.bytekeys import ByteQueryBatch, byte_probe_matrix
 
 #: Default clamp on Bloom probes per range query (mirrored by the CPFPR model).
 DEFAULT_MAX_PROBES = 64
@@ -72,12 +78,19 @@ class PrefixBloomFilter(RangeFilter):
         self.width = width
         self.prefix_len = prefix_len
         self.max_probes = max_probes
-        distinct_keys = sorted_distinct_keys(keys, width)
-        self.num_keys = len(distinct_keys)
-        prefixes = distinct_prefixes(distinct_keys, prefix_len, width)
-        self.num_prefixes = int(prefixes.size)
-        self._bloom = BloomFilter(num_bits, max(1, self.num_prefixes), seed=seed)
-        self._bloom.add_many(prefixes)
+        key_set = coerce_keys(keys, width)
+        self.num_keys = len(key_set)
+        self.is_bytes = key_set.is_bytes
+        prefixes = key_set.prefixes(prefix_len)
+        self._bloom = BloomFilter(num_bits, max(1, len(prefixes)), seed=seed)
+        if self.is_bytes:
+            # Canonical prefix-byte rows, hashed row-parallel; every probe
+            # path below encodes to the same bytes, so no path can disagree.
+            self.num_prefixes = int(prefixes.shape[0])
+            self._bloom.add_bytes_rows(prefixes)
+        else:
+            self.num_prefixes = int(prefixes.size)
+            self._bloom.add_many(prefixes)
 
     @classmethod
     def from_spec(cls, spec, keys=None, workload=None) -> "PrefixBloomFilter":
@@ -94,7 +107,7 @@ class PrefixBloomFilter(RangeFilter):
         if prefix_len is None:
             prefix_len = derived_prefix_len(key_set.width, workload)
         return cls(
-            key_set.keys,
+            key_set,
             key_set.width,
             int(prefix_len),
             total_bits,
@@ -102,22 +115,40 @@ class PrefixBloomFilter(RangeFilter):
             seed=int(params.get("seed", 0)),
         )
 
+    def _probe_prefix(self, prefix: int) -> bool:
+        """Probe one prefix value through the representation-correct item."""
+        if self.is_bytes:
+            return self._bloom.contains_bytes(
+                prefix_item_bytes(prefix, self.prefix_len)
+            )
+        return self._bloom.contains(prefix)
+
     def may_contain(self, key: int) -> bool:
         if self.num_keys == 0:
             return False
-        return self._bloom.contains(prefix_of(key, self.prefix_len, self.width))
+        return self._probe_prefix(prefix_of(key, self.prefix_len, self.width))
 
     def may_intersect(self, lo: int, hi: int) -> bool:
         self._check_range(lo, hi)
         if self.num_keys == 0:
             return False
         plo, phi = prefix_range(lo, hi, self.prefix_len, self.width)
-        if phi - plo + 1 > self.max_probes:
+        if self.is_bytes:
+            if scalar_slot_clamped(plo, phi, self.prefix_len, self.max_probes):
+                return True
+        elif phi - plo + 1 > self.max_probes:
             return True
-        bloom = self._bloom
-        return any(bloom.contains(prefix) for prefix in range(plo, phi + 1))
+        return any(self._probe_prefix(prefix) for prefix in range(plo, phi + 1))
 
     def may_contain_many(self, keys) -> np.ndarray:
+        if self.is_bytes:
+            mat = byte_probe_matrix(keys, self.width)
+            if mat is not None and self.num_keys:
+                from repro.keys.bytestr import mask_rows
+
+                return self._bloom.contains_bytes_rows(
+                    mask_rows(mat, self.prefix_len)
+                )
         arr = as_key_array(keys)
         if arr.dtype == object or self.width > MAX_VECTOR_WIDTH:
             # Encoded-domain loop, deliberately bypassing any may_contain
@@ -131,8 +162,25 @@ class PrefixBloomFilter(RangeFilter):
             return np.zeros(arr.size, dtype=bool)
         return self._bloom.contains_many(arr >> np.int64(self.width - self.prefix_len))
 
+    def _may_intersect_bytes(self, batch: ByteQueryBatch) -> np.ndarray:
+        """Byte-mode batch ranges: slot-window enumeration + bulk row probes."""
+        plo_rows, base, span, clamped = byte_slot_bounds(
+            batch.lo_matrix, batch.hi_matrix, self.prefix_len, self.max_probes
+        )
+        out = clamped.copy()
+        rows = np.flatnonzero(~clamped)
+        if rows.size:
+            slot_rows, offsets = expand_slot_rows(
+                plo_rows, base, span, self.prefix_len, rows
+            )
+            hits = self._bloom.contains_bytes_rows(slot_rows)
+            out[rows] = np.logical_or.reduceat(hits, offsets[:-1])
+        return out
+
     def may_intersect_many(self, queries) -> np.ndarray:
         batch = coerce_query_batch(queries, self.width)
+        if self.is_bytes and isinstance(batch, ByteQueryBatch) and self.num_keys:
+            return self._may_intersect_bytes(batch)
         if not batch.is_vector:
             return np.fromiter(
                 (
@@ -197,7 +245,7 @@ class PointBloomFilter(PrefixBloomFilter):
         params = check_spec_params(spec, ("max_probes", "seed"))
         key_set, total_bits = resolve_spec_inputs(spec, keys, workload)
         return cls(
-            key_set.keys,
+            key_set,
             key_set.width,
             total_bits,
             max_probes=int(params.get("max_probes", DEFAULT_MAX_PROBES)),

@@ -34,9 +34,13 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.amq.bloom import BloomFilter
 from repro.filters.base import RangeFilter, check_spec_params, resolve_spec_inputs
-from repro.workloads.batch import EncodedKeySet
+from repro.keys.bytestr import prefix_item_bytes
+from repro.workloads.batch import coerce_keys
+from repro.workloads.bytekeys import byte_probe_matrix
 
 #: Probe budget per range query; exceeding it returns a conservative positive.
 DEFAULT_MAX_PROBES = 256
@@ -94,14 +98,11 @@ class Rosetta(RangeFilter):
         self.width = width
         self.max_probes = max_probes
         self.first_level = width - num_levels + 1
-        key_set = keys if isinstance(keys, EncodedKeySet) else EncodedKeySet(keys, width)
-        if key_set.width != width:
-            raise ValueError(
-                f"key set width {key_set.width} does not match filter width {width}"
-            )
+        key_set = coerce_keys(keys, width)
         self.num_keys = len(key_set)
-        use_bulk = vectorize and key_set.is_vector
-        key_list = None if use_bulk else key_set.as_list()
+        self.is_bytes = key_set.is_bytes
+        use_bulk = vectorize and (key_set.is_vector or key_set.is_bytes)
+        key_list = None if use_bulk or key_set.is_bytes else key_set.as_list()
         counts = key_set.prefix_counts()
         levels = range(self.first_level, width + 1)
         weight_total = sum(counts[level] for level in levels) or 1
@@ -112,7 +113,16 @@ class Rosetta(RangeFilter):
             # size_in_bits() is the authoritative footprint, not the request.
             level_bits = max(1, total_bits * counts[level] // weight_total)
             bloom = BloomFilter(level_bits, max(1, counts[level]), seed=seed + level)
-            if use_bulk:
+            if self.is_bytes:
+                # Canonical prefix-byte rows; the scalar path inserts the
+                # exact same rows one bytes() at a time, pinning parity.
+                prefix_rows = key_set.prefixes(level)
+                if use_bulk:
+                    bloom.add_bytes_rows(prefix_rows)
+                else:
+                    for row in prefix_rows:
+                        bloom.add_bytes(row.tobytes())
+            elif use_bulk:
                 # Bulk path: the sorted distinct prefixes come from the key
                 # set's cached numpy view and all hash lanes run
                 # column-parallel in add_many — bit-identical to the scalar
@@ -150,10 +160,25 @@ class Rosetta(RangeFilter):
             seed=int(params.get("seed", 0)),
         )
 
+    def _probe_level(self, prefix: int, level: int) -> bool:
+        """Probe one dyadic prefix through the representation-correct item."""
+        bloom = self._blooms[level]
+        if self.is_bytes:
+            return bloom.contains_bytes(prefix_item_bytes(prefix, level))
+        return bloom.contains(prefix)
+
     def may_contain(self, key: int) -> bool:
         if self.num_keys == 0:
             return False
-        return self._blooms[self.width].contains(key)
+        return self._probe_level(key, self.width)
+
+    def may_contain_many(self, keys) -> np.ndarray:
+        if self.is_bytes and self.num_keys:
+            # Bottom level stores whole padded keys — one bulk row probe.
+            mat = byte_probe_matrix(keys, self.width)
+            if mat is not None:
+                return self._blooms[self.width].contains_bytes_rows(mat)
+        return super().may_contain_many(keys)
 
     def may_intersect(self, lo: int, hi: int) -> bool:
         self._check_range(lo, hi)
@@ -175,7 +200,7 @@ class Rosetta(RangeFilter):
             return True, 0
         if level >= self.first_level:
             budget -= 1
-            if not self._blooms[level].contains(prefix):
+            if not self._probe_level(prefix, level):
                 return False, budget
         if level == self.width:
             return True, budget

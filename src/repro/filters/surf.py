@@ -51,10 +51,21 @@ from repro.keys.lcp import (
     min_distinguishing_prefix_lengths,
     min_distinguishing_prefix_lengths_array,
 )
+from repro.keys.bytestr import unique_rows
 from repro.trie.fst import FastSuccinctTrie
 from repro.trie.node_trie import ByteTrie
 from repro.trie.size_model import fst_size_estimate
-from repro.workloads.batch import EncodedKeySet, as_key_array, coerce_query_batch
+from repro.workloads.batch import (
+    EncodedKeySet,
+    as_key_array,
+    coerce_keys,
+    coerce_query_batch,
+)
+from repro.workloads.bytekeys import (
+    ByteKeySet,
+    ByteQueryBatch,
+    byte_probe_matrix,
+)
 
 
 class SuRF(RangeFilter):
@@ -78,8 +89,25 @@ class SuRF(RangeFilter):
             raise ValueError(f"trie depth {max_depth} outside [1, {num_bytes}]")
         self.max_depth = max_depth
         self.physical = physical
+        if not isinstance(keys, (EncodedKeySet, ByteKeySet, np.ndarray)):
+            keys = list(keys)
+            if keys and isinstance(keys[0], (bytes, str, np.bytes_)):
+                keys = coerce_keys(keys, width)
+        self.is_bytes = isinstance(keys, ByteKeySet)
         self._trie: ByteTrie | None
         self._fst: FastSuccinctTrie | None
+        if self.is_bytes:
+            # Byte-native prefix extraction; pruning is byte-granular here
+            # (width is always a byte multiple), so pad_bits is zero and
+            # the distinguishing depth is the adjacent-LCP byte depth.
+            prefixes = self._vector_prefixes_bytes(keys, max_depth)
+            if physical:
+                self._trie = None
+                self._fst = FastSuccinctTrie.from_sorted_prefix_bytes(prefixes)
+                return
+            self._trie = ByteTrie.from_sorted_prefix_free(prefixes)
+            self._fst = None
+            return
         if vectorize and width <= MAX_VECTOR_WIDTH:
             prefixes = self._vector_prefixes(keys, width, max_depth, num_bytes)
             if physical:
@@ -151,6 +179,28 @@ class SuRF(RangeFilter):
         prefixes.sort()
         return prefixes
 
+    def _vector_prefixes_bytes(self, key_set: ByteKeySet, max_depth: int) -> list[bytes]:
+        """Sorted pruned-prefix list for a byte-string key set.
+
+        The distinguishing depth is byte-granular (adjacent-LCP byte depth
+        plus one, capped at ``max_depth``); per depth the distinct prefix
+        rows dedup before any bytes object is materialised, mirroring
+        :meth:`_vector_prefixes` with ``pad_bits == 0``.
+        """
+        self.num_keys = len(key_set)
+        if self.num_keys == 0:
+            return []
+        depths = np.maximum(
+            1, np.minimum(max_depth, key_set.distinguishing_byte_depths())
+        )
+        matrix = key_set.matrix
+        prefixes: list[bytes] = []
+        for depth in np.unique(depths).tolist():
+            rows = unique_rows(np.ascontiguousarray(matrix[depths == depth, :depth]))
+            prefixes.extend(row.tobytes() for row in rows)
+        prefixes.sort()
+        return prefixes
+
     @classmethod
     def from_spec(cls, spec, keys=None, workload=None) -> "SuRF":
         """Registry protocol: derive the trie depth from the bit budget.
@@ -211,6 +261,26 @@ class SuRF(RangeFilter):
 
     def may_contain_many(self, keys) -> np.ndarray:
         """Batched point probes; LOUDS rank-arithmetic when ``physical``."""
+        if self.is_bytes:
+            mat = byte_probe_matrix(keys, self.width)
+            if mat is None:
+                # Padded big-integer probes: the scalar loop handles them.
+                return super().may_contain_many(keys)
+            if self.num_keys == 0:
+                return np.zeros(mat.shape[0], dtype=bool)
+            if self._fst is not None:
+                return self._fst.may_contain_matrix(mat)
+            assert self._trie is not None
+            # Full padded rows, not the (null-stripped) S values: a pruned
+            # prefix can extend past a short key's end into its null padding.
+            return np.fromiter(
+                (
+                    self._trie.match_prefix_of(row.tobytes()) is not None
+                    for row in mat
+                ),
+                dtype=bool,
+                count=mat.shape[0],
+            )
         if self._fst is None or self.width > MAX_VECTOR_WIDTH:
             return super().may_contain_many(keys)
         arr = as_key_array(keys)
@@ -223,6 +293,10 @@ class SuRF(RangeFilter):
     def may_intersect_many(self, queries) -> np.ndarray:
         """Batched range probes; LOUDS rank-arithmetic when ``physical``."""
         batch = coerce_query_batch(queries, self.width)
+        if self._fst is not None and isinstance(batch, ByteQueryBatch):
+            if self.num_keys == 0:
+                return np.zeros(len(batch), dtype=bool)
+            return self._fst.may_intersect_matrix(batch.lo_matrix, batch.hi_matrix)
         if self._fst is None or not batch.is_vector:
             return super().may_intersect_many(batch)
         if self.num_keys == 0:

@@ -116,7 +116,11 @@ class StringKeySpace(KeySpace):
             return key.encode("utf-8")
         return bytes(key)
 
-    def encode(self, key: bytes | str) -> int:
+    def encode(self, key: bytes | str | int) -> int:
+        if isinstance(key, int):
+            # Already in the padded-integer view (the scalar-loop contract
+            # of ByteQueryBatch.pairs); just bounds-check it.
+            return self.validate(key)
         raw = self._as_bytes(key)
         if len(raw) > self.max_length:
             raise ValueError(

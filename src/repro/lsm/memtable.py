@@ -12,6 +12,12 @@ compaction proves otherwise.
 :meth:`seal` snapshots the buffer into an immutable sorted
 :class:`~repro.lsm.merge.EntryRun` — the unit the flush path turns into a
 level-0 SST — and empties the memtable for the next write burst.
+
+Keys may be integers or byte/``str`` strings (one kind per memtable):
+byte keys are canonicalised exactly like :class:`~repro.workloads.
+bytekeys.ByteKeySet` does (utf-8 encode, strip trailing nulls) and the
+sealed run carries a byte key set, so the whole write path stays in the
+string representation.
 """
 
 from __future__ import annotations
@@ -20,8 +26,9 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.keys.keyspace import StringKeySpace
 from repro.lsm.merge import EntryRun
-from repro.workloads.batch import EncodedKeySet
+from repro.workloads.batch import coerce_keys
 
 __all__ = ["MemTable"]
 
@@ -41,24 +48,31 @@ class MemTable:
             raise ValueError("memtable capacity must be at least 1 entry")
         self.width = width
         self.capacity = capacity
-        self._entries: dict[int, bool] = {}
+        self._entries: dict = {}
         self._top = (1 << width) - 1
 
-    def _check_key(self, key: int) -> int:
+    def _check_key(self, key):
+        if isinstance(key, (bytes, str)):
+            raw = StringKeySpace._as_bytes(key).rstrip(b"\x00")
+            if 8 * len(raw) > self.width:
+                raise ValueError(
+                    f"key {raw!r} outside the {self.width}-bit key space"
+                )
+            return raw
         key = int(key)
         if not 0 <= key <= self._top:
             raise ValueError(f"key {key} outside the {self.width}-bit key space")
         return key
 
-    def put(self, key: int) -> None:
+    def put(self, key) -> None:
         """Record ``key`` as live (overwriting any buffered tombstone)."""
         self._entries[self._check_key(key)] = True
 
-    def delete(self, key: int) -> None:
+    def delete(self, key) -> None:
         """Record a tombstone for ``key`` (overwriting any buffered put)."""
         self._entries[self._check_key(key)] = False
 
-    def apply(self, ops: Iterable[tuple[str, int]]) -> None:
+    def apply(self, ops: Iterable[tuple]) -> None:
         """Apply ``("put", key)`` / ``("del", key)`` ops in order."""
         for op, key in ops:
             if op == "put":
@@ -68,7 +82,7 @@ class MemTable:
             else:
                 raise ValueError(f"unknown write op {op!r}; expected 'put' or 'del'")
 
-    def get(self, key: int) -> bool | None:
+    def get(self, key) -> bool | None:
         """``True`` if buffered live, ``False`` if tombstoned, ``None`` if absent."""
         return self._entries.get(self._check_key(key))
 
@@ -102,7 +116,10 @@ class MemTable:
         keys = [key for key, _ in items]
         tombstones = np.array([not live for _, live in items], dtype=bool)
         self._entries = {}
-        return EntryRun(EncodedKeySet(keys, self.width), tombstones)
+        # Keys are already canonical, sorted, and distinct, so coerce_keys
+        # (ByteKeySet for byte keys, EncodedKeySet for ints) preserves the
+        # order the tombstone mask was built in.
+        return EntryRun(coerce_keys(keys, self.width), tombstones)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -31,6 +31,8 @@ import numpy as np
 
 from repro import kernels
 from repro.workloads.batch import EncodedKeySet
+from repro.workloads.bytekeys import ByteKeySet
+from repro.workloads.keyset import KeySet
 
 __all__ = [
     "EntryRun",
@@ -43,7 +45,7 @@ __all__ = [
 class EntryRun:
     """One sorted run of entries: distinct keys plus a tombstone mask.
 
-    ``keys`` is an :class:`~repro.workloads.batch.EncodedKeySet` (sorted,
+    ``keys`` is any :class:`~repro.workloads.keyset.KeySet` (sorted,
     distinct, bounds-checked); ``tombstones`` a parallel boolean array —
     ``None`` means every entry is a live put.  Runs are immutable value
     carriers between the memtable, flush, and compaction layers.
@@ -51,7 +53,7 @@ class EntryRun:
 
     __slots__ = ("keys", "tombstones")
 
-    def __init__(self, keys: EncodedKeySet, tombstones: np.ndarray | None = None):
+    def __init__(self, keys: KeySet, tombstones: np.ndarray | None = None):
         if tombstones is not None:
             tombstones = np.asarray(tombstones, dtype=bool)
             if tombstones.shape != (len(keys),):
@@ -115,6 +117,8 @@ def merge_entry_runs(
     shadow.
     """
     width = _check_runs(runs)
+    if all(run.keys.is_bytes for run in runs):
+        return _merge_entry_runs_bytes(runs, drop_tombstones)
     if not all(run.keys.is_vector for run in runs):
         return merge_entry_runs_scalar(runs, drop_tombstones)
     keys = np.concatenate([run.keys.keys for run in runs])
@@ -134,22 +138,54 @@ def merge_entry_runs(
     )
 
 
+def _merge_entry_runs_bytes(
+    runs: Sequence[EntryRun], drop_tombstones: bool = False
+) -> EntryRun:
+    """The byte-string fast path: one stable ``argsort`` over S-dtype keys.
+
+    Runs arrive newest first, so after a *stable* sort the first entry of
+    every equal-key group is the newest — newest-wins dedupe needs no
+    explicit priority array.  Padded (``memcmp``) order is the canonical
+    key order, so the merged array feeds :class:`ByteKeySet` verbatim.
+    """
+    max_length = runs[0].keys.max_length
+    keys = np.concatenate([run.keys.keys for run in runs])
+    tombstones = np.concatenate([run.tombstone_mask() for run in runs])
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_tombstones = tombstones[order]
+    keep = np.ones(sorted_keys.size, dtype=bool)
+    keep[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    merged_keys = sorted_keys[keep]
+    merged_tombstones = sorted_tombstones[keep]
+    if drop_tombstones:
+        live = ~merged_tombstones
+        merged_keys = merged_keys[live]
+        merged_tombstones = merged_tombstones[live]
+    return EntryRun(
+        ByteKeySet._from_padded(merged_keys, max_length),
+        merged_tombstones if merged_tombstones.any() else None,
+    )
+
+
 def merge_entry_runs_scalar(
     runs: Sequence[EntryRun], drop_tombstones: bool = False
 ) -> EntryRun:
     """The heap-merge reference: ``heapq.merge`` + first-entry-per-key.
 
     Semantics identical to :func:`merge_entry_runs` (the parity tests pin
-    this); also the ``object``-dtype fallback for wide key spaces.
+    this); also the ``object``-dtype fallback for wide key spaces.  Byte
+    runs work too — ``heapq.merge`` compares canonical byte keys in the
+    same lexicographic (= padded ``memcmp``) order.
     """
     width = _check_runs(runs)
     streams = [
         zip(run.keys.as_list(), [priority] * len(run), run.tombstone_mask().tolist())
         for priority, run in enumerate(runs)
     ]
-    merged_keys: list[int] = []
+    merged_keys: list = []
     merged_tombstones: list[bool] = []
-    previous: int | None = None
+    previous = None
     for key, _, tombstone in heapq.merge(*streams):
         if key == previous:
             continue  # an older (higher-priority-number) entry: shadowed
@@ -158,16 +194,22 @@ def merge_entry_runs_scalar(
             continue
         merged_keys.append(key)
         merged_tombstones.append(tombstone)
-    dtype = np.int64 if runs[0].keys.is_vector else object
-    keys_arr = np.array(merged_keys, dtype=dtype)
     tombstones_arr = np.array(merged_tombstones, dtype=bool)
+    if runs[0].keys.is_bytes:
+        max_length = runs[0].keys.max_length
+        merged_set: KeySet = ByteKeySet._from_padded(
+            np.array(merged_keys, dtype=f"S{max_length}"), max_length
+        )
+    else:
+        dtype = np.int64 if runs[0].keys.is_vector else object
+        merged_set = EncodedKeySet._trusted(np.array(merged_keys, dtype=dtype), width)
     return EntryRun(
-        EncodedKeySet._trusted(keys_arr, width),
+        merged_set,
         tombstones_arr if tombstones_arr.any() else None,
     )
 
 
-def merge_key_sets(key_sets: Sequence[EncodedKeySet]) -> EncodedKeySet:
+def merge_key_sets(key_sets: Sequence[KeySet]) -> KeySet:
     """Merge sorted distinct key sets into one (duplicates collapse).
 
     The tombstone-free specialisation of :func:`merge_entry_runs`; with no

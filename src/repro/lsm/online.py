@@ -42,7 +42,9 @@ from repro.lsm.sstable import SSTable
 from repro.lsm.tree import DEFAULT_FANOUT, DEFAULT_SST_KEYS, LSMTree
 from repro.obs.metrics import timed
 from repro.obs.trace import ProbeTrace
+from repro.keys.keyspace import StringKeySpace
 from repro.workloads.batch import QueryBatch, as_key_array
+from repro.workloads.keyset import KeySet
 
 __all__ = ["OnlineLSMTree"]
 
@@ -104,13 +106,13 @@ class OnlineLSMTree:
     # Writes                                                             #
     # ------------------------------------------------------------------ #
 
-    def put(self, key: int) -> None:
+    def put(self, key) -> None:
         """Insert (or resurrect) ``key``; flushes when the memtable fills."""
         self.memtable.put(key)
         if self.memtable.is_full:
             self.flush()
 
-    def delete(self, key: int) -> None:
+    def delete(self, key) -> None:
         """Tombstone ``key``; flushes when the memtable fills."""
         self.memtable.delete(key)
         if self.memtable.is_full:
@@ -351,6 +353,26 @@ class OnlineLSMTree:
         """
         return self.snapshot().probe(queries, trace=trace, sst_stats=sst_stats)
 
+    def _probe_array(self, keys) -> np.ndarray:
+        """Probe keys as a numpy array in the tree's native key order."""
+        if isinstance(keys, KeySet):
+            return keys.keys
+        if isinstance(keys, np.ndarray) and keys.dtype.kind == "S":
+            probes: list | None = keys.tolist()
+        else:
+            concrete = list(keys)
+            if concrete and isinstance(concrete[0], (bytes, str)):
+                probes = [
+                    StringKeySpace._as_bytes(key).rstrip(b"\x00")
+                    for key in concrete
+                ]
+            else:
+                probes = None
+                keys = concrete
+        if probes is not None:
+            return np.array(probes, dtype=f"S{self.width // 8}")
+        return as_key_array(keys)
+
     def lookup_many(self, keys) -> np.ndarray:
         """Live membership per key: the newest entry wins, tombstones hide.
 
@@ -358,8 +380,12 @@ class OnlineLSMTree:
         newest first, then the deep levels downward (within a deep level
         the SSTs are disjoint, so order is immaterial).  Returns one bool
         per key — ``True`` iff the key's newest entry is a live put.
+
+        Byte probes become an ``S``-dtype array so the per-SST bisection
+        runs in the tables' native (``memcmp``) order; integer probes keep
+        the int64/object path.
         """
-        arr = as_key_array(keys)
+        arr = self._probe_array(keys)
         found = np.zeros(arr.size, dtype=bool)
         resolved = np.zeros(arr.size, dtype=bool)
         for position, key in enumerate(arr.tolist()):

@@ -2,11 +2,17 @@
 
 An SST here is what the I/O cost model needs of a RocksDB table file: a
 sorted, contiguous run of keys (a zero-copy
-:meth:`~repro.workloads.batch.EncodedKeySet.slice` view into its level's key
+:meth:`~repro.workloads.keyset.KeySet.slice` view into its level's key
 array), its min/max *fences* (always resident, consulted for free), and the
 per-SST range filter the paper attaches — built through the
 :mod:`repro.api` registry from a shared workload sample, exactly like every
 other filter in the repository.
+
+The SST is representation-agnostic: any :class:`~repro.workloads.keyset.
+KeySet` works, because fences, ground truth, and slicing only need the
+``keys`` array's native sort order — ``int64``/``object`` integers and
+``S``-dtype byte strings both ``searchsorted`` correctly.  Fences are
+native scalars (``int`` or ``bytes``) accordingly.
 
 The SST also knows its own ground truth (:meth:`matches_many`): whether a
 query range actually contains one of its keys, via binary search on the
@@ -30,7 +36,8 @@ import numpy as np
 
 from repro.api.spec import FilterSpec
 from repro.filters.base import RangeFilter
-from repro.workloads.batch import EncodedKeySet, QueryBatch
+from repro.workloads.batch import QueryBatch
+from repro.workloads.keyset import KeySet
 
 __all__ = ["SSTable"]
 
@@ -44,7 +51,7 @@ class SSTable:
         self,
         level: int,
         index: int,
-        keys: EncodedKeySet,
+        keys: KeySet,
         tombstones: np.ndarray | None = None,
     ):
         if len(keys) == 0:
@@ -70,14 +77,14 @@ class SSTable:
         return self.keys.width
 
     @property
-    def min_key(self) -> int:
-        """Lower fence: the smallest key in the table."""
-        return int(self.keys.keys[0])
+    def min_key(self) -> int | bytes:
+        """Lower fence: the smallest key, as a native scalar."""
+        return self.keys.first
 
     @property
-    def max_key(self) -> int:
-        """Upper fence: the largest key in the table."""
-        return int(self.keys.keys[-1])
+    def max_key(self) -> int | bytes:
+        """Upper fence: the largest key, as a native scalar."""
+        return self.keys.last
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -94,7 +101,7 @@ class SSTable:
         return self.tombstones
 
     @staticmethod
-    def merge_sorted(key_sets: Sequence[EncodedKeySet]) -> EncodedKeySet:
+    def merge_sorted(key_sets: Sequence[KeySet]) -> KeySet:
         """Merge already-sorted key sets into one sorted distinct set.
 
         The k-way merge behind compaction, as a single
@@ -120,8 +127,13 @@ class SSTable:
         self.filter = None
         self.spec = None
 
-    def overlaps(self, lo: int, hi: int) -> bool:
-        """Fence check: can ``[lo, hi]`` intersect this table at all?"""
+    def overlaps(self, lo, hi) -> bool:
+        """Fence check: can ``[lo, hi]`` intersect this table at all?
+
+        Bounds are native scalars: padded-order and native lexicographic
+        order coincide (canonical byte keys never end in a null), so the
+        comparison is representation-blind.
+        """
         return self.min_key <= hi and self.max_key >= lo
 
     def matches_many(self, los: np.ndarray, his: np.ndarray) -> np.ndarray:

@@ -37,9 +37,9 @@ from repro.obs.metrics import timed
 from repro.obs.trace import ProbeTrace
 from repro.workloads.batch import (
     MAX_VECTOR_WIDTH,
-    EncodedKeySet,
     coerce_query_batch,
 )
+from repro.workloads.keyset import KeySet
 
 __all__ = ["LSMTree"]
 
@@ -77,9 +77,17 @@ class LSMTree:
         # level compacted away entirely (legal mid-lifecycle: level i merged
         # into i+1 leaves an empty level between populated neighbours) gets
         # empty fence arrays — searchsorted then routes zero queries to it,
-        # so probe never special-cases the gap.  The dtype comes from the
-        # tree width, not ``level[0]``, which an empty level does not have.
-        dtype = np.int64 if width <= MAX_VECTOR_WIDTH else object
+        # so probe never special-cases the gap.  Fences take the key set's
+        # *natural* dtype — S-strings for byte trees (so a ByteQueryBatch's
+        # S-dtype bounds searchsort directly, in memcmp order), int64/object
+        # for integer trees.  An empty level cannot reveal the dtype, so it
+        # comes from the first populated SST (one always exists; the
+        # constructor rejects an all-empty tree) with the width as fallback.
+        sample = next(sst for level in levels for sst in level)
+        if sample.keys.is_bytes:
+            dtype = sample.keys.keys.dtype
+        else:
+            dtype = np.int64 if width <= MAX_VECTOR_WIDTH else object
         self._fences = []
         for level in levels:
             mins = np.array([sst.min_key for sst in level], dtype=dtype)
@@ -93,7 +101,7 @@ class LSMTree:
     @classmethod
     def build(
         cls,
-        keys: EncodedKeySet,
+        keys: KeySet,
         sst_keys: int = DEFAULT_SST_KEYS,
         fanout: int = DEFAULT_FANOUT,
         seed: int = 0,
@@ -103,12 +111,13 @@ class LSMTree:
         Level ``i`` has capacity ``sst_keys * fanout**i`` keys; levels fill
         shallow-to-deep, the deepest taking the remainder.  A seeded
         permutation decides which key lands in which level, then each
-        level's keys are sorted and chopped into contiguous SSTs — zero-copy
-        :meth:`~repro.workloads.batch.EncodedKeySet.slice` views of the
-        level array.
+        level's keys are re-sorted (:meth:`~repro.workloads.keyset.KeySet.
+        sorted_take`) and chopped into contiguous SSTs — zero-copy
+        :meth:`~repro.workloads.keyset.KeySet.slice` views of the level's
+        key set, whatever its representation.
         """
-        if not isinstance(keys, EncodedKeySet):
-            raise TypeError("LSMTree.build takes an EncodedKeySet")
+        if not isinstance(keys, KeySet):
+            raise TypeError("LSMTree.build takes a KeySet")
         if len(keys) == 0:
             raise ValueError("cannot build an LSM tree over zero keys")
         if sst_keys < 1:
@@ -128,7 +137,7 @@ class LSMTree:
         for level_index, size in enumerate(sizes):
             chosen = perm[offset : offset + size]
             offset += size
-            level_set = EncodedKeySet._trusted(np.sort(keys.keys[chosen]), keys.width)
+            level_set = keys.sorted_take(chosen)
             ssts = []
             for sst_index, start in enumerate(range(0, size, sst_keys)):
                 ssts.append(

@@ -405,12 +405,25 @@ class FastSuccinctTrie:
         probe per level over the still-active queries.
         """
         keys = np.asarray(keys, dtype=np.int64)
-        result = np.zeros(keys.size, dtype=bool)
         if self.num_leaves == 0 or keys.size == 0:
+            return np.zeros(keys.size, dtype=bool)
+        return self.may_contain_matrix(_byte_matrix(keys, num_bytes))
+
+    def may_contain_matrix(self, mat: np.ndarray) -> np.ndarray:
+        """Vectorise :meth:`match_prefix_of` over an ``(n, L)`` byte matrix.
+
+        Each row is one key rendered big-endian, one byte per column — the
+        layout byte-string key sets store natively, and what the int64
+        entry point expands its words into.  Any key length works: the
+        walk runs ``min(L, height)`` levels.
+        """
+        mat = mat.astype(np.int64, copy=False)  # uint8 would wrap in c+1
+        num_bytes = mat.shape[1]
+        result = np.zeros(mat.shape[0], dtype=bool)
+        if self.num_leaves == 0 or mat.shape[0] == 0:
             return result
-        mat = _byte_matrix(keys, num_bytes)
-        node = np.zeros(keys.size, dtype=np.int64)
-        active = np.ones(keys.size, dtype=bool)
+        node = np.zeros(mat.shape[0], dtype=np.int64)
+        active = np.ones(mat.shape[0], dtype=bool)
         for level in range(min(num_bytes, self.height)):
             idx = np.nonzero(active)[0]
             if idx.size == 0:
@@ -509,12 +522,28 @@ class FastSuccinctTrie:
         """
         los = np.asarray(los, dtype=np.int64)
         his = np.asarray(his, dtype=np.int64)
-        n = los.size
+        if self.num_leaves == 0 or los.size == 0:
+            return np.zeros(los.size, dtype=bool)
+        return self.may_intersect_matrix(
+            _byte_matrix(los, num_bytes), _byte_matrix(his, num_bytes)
+        )
+
+    def may_intersect_matrix(
+        self, lo_m: np.ndarray, hi_m: np.ndarray
+    ) -> np.ndarray:
+        """Vectorise :meth:`range_overlaps` over parallel byte matrices.
+
+        ``lo_m`` and ``hi_m`` are ``(n, L)`` big-endian byte matrices with
+        ``lo <= hi`` rowwise (the :class:`~repro.workloads.ByteQueryBatch`
+        layout); the same level-synchronous walk as the int64 entry point.
+        """
+        lo_m = lo_m.astype(np.int64, copy=False)  # uint8 would wrap in a+1
+        hi_m = hi_m.astype(np.int64, copy=False)
+        num_bytes = lo_m.shape[1]
+        n = lo_m.shape[0]
         result = np.zeros(n, dtype=bool)
         if self.num_leaves == 0 or n == 0:
             return result
-        lo_m = _byte_matrix(los, num_bytes)
-        hi_m = _byte_matrix(his, num_bytes)
         jd_act = np.ones(n, dtype=bool)
         jd_node = np.zeros(n, dtype=np.int64)
         lo_act = np.zeros(n, dtype=bool)

@@ -17,6 +17,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.keys.bytestr import mask_rows, prefix_item_bytes, rows_as_strings
 from repro.keys.keyspace import sorted_distinct_keys
 from repro.keys.lcp import MAX_VECTOR_WIDTH
 
@@ -142,5 +143,85 @@ class SortedPrefixIndex:
         """Return a debugging summary."""
         return (
             f"SortedPrefixIndex(n={len(self.prefixes)}, length={self.length}, "
+            f"width={self.width})"
+        )
+
+
+class SortedBytePrefixIndex:
+    """Byte-mode twin of :class:`SortedPrefixIndex` over canonical prefix bytes.
+
+    Stores the distinct ``length``-bit prefixes of a byte key set as a sorted
+    ``S{nb}`` array of their canonical byte encodings
+    (:func:`repro.keys.bytestr.prefix_item_bytes` for scalars,
+    :func:`~repro.keys.bytestr.mask_rows` rows in bulk).  ``memcmp`` order on
+    those fixed-width strings equals prefix-integer order, so every query is
+    a ``searchsorted`` call or two — with no 63-bit width ceiling.  The
+    scalar entry points keep :class:`SortedPrefixIndex`'s integer signatures
+    (prefixes and keys as padded big-endian ints), so byte-mode Proteus can
+    use either engine behind the same calls.
+    """
+
+    __slots__ = ("keys", "length", "width")
+
+    def __init__(self, prefix_rows: np.ndarray, length: int, width: int):
+        """Index canonical ``length``-bit prefix rows (sorted distinct uint8)."""
+        if not 0 < length <= width:
+            raise ValueError(f"prefix length {length} outside [1, {width}]")
+        self.length = length
+        self.width = width
+        self.keys = rows_as_strings(prefix_rows)
+
+    def __len__(self) -> int:
+        """Return the number of stored prefixes."""
+        return int(self.keys.size)
+
+    def _item(self, prefix: int) -> np.bytes_:
+        return np.bytes_(prefix_item_bytes(prefix, self.length))
+
+    def contains(self, prefix: int) -> bool:
+        """Return whether ``prefix`` (a ``length``-bit value) is stored."""
+        item = self._item(prefix)
+        i = int(np.searchsorted(self.keys, item, side="left"))
+        return i < self.keys.size and self.keys[i] == item
+
+    def contains_prefix_of(self, key: int) -> bool:
+        """Return whether the ``length``-bit prefix of ``key`` is stored."""
+        return self.contains(key >> (self.width - self.length))
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        """Return whether any stored prefix interval intersects ``[lo, hi]``."""
+        if lo > hi:
+            raise ValueError(f"empty query range [{lo}, {hi}]")
+        shift = self.width - self.length
+        i = np.searchsorted(self.keys, self._item(lo >> shift), side="left")
+        j = np.searchsorted(self.keys, self._item(hi >> shift), side="right")
+        return int(j) > int(i)
+
+    def contains_rows(self, prefix_rows: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`contains` over canonical prefix rows."""
+        probes = rows_as_strings(prefix_rows)
+        if not self.keys.size:
+            return np.zeros(probes.size, dtype=bool)
+        idx = np.searchsorted(self.keys, probes, side="left")
+        safe = np.minimum(idx, self.keys.size - 1)
+        return (idx < self.keys.size) & (self.keys[safe] == probes)
+
+    def overlaps_matrix(self, lo_mat: np.ndarray, hi_mat: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`overlaps` over full-width lo/hi uint8 matrices."""
+        lo_s = rows_as_strings(mask_rows(lo_mat, self.length))
+        hi_s = rows_as_strings(mask_rows(hi_mat, self.length))
+        i = np.searchsorted(self.keys, lo_s, side="left")
+        j = np.searchsorted(self.keys, hi_s, side="right")
+        return j > i
+
+    def size_in_bits(self) -> int:
+        """Raw footprint of the prefix array (``n * length`` bits, as charged
+        by :class:`SortedPrefixIndex`)."""
+        return len(self) * self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Return a debugging summary."""
+        return (
+            f"SortedBytePrefixIndex(n={len(self)}, length={self.length}, "
             f"width={self.width})"
         )

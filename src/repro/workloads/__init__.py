@@ -17,7 +17,15 @@ from repro.workloads.batch import (
     EncodedKeySet,
     QueryBatch,
     as_key_array,
+    coerce_keys,
     coerce_query_batch,
+)
+from repro.workloads.bytekeys import ByteKeySet, ByteQueryBatch
+from repro.workloads.datasets import (
+    DATASETS,
+    dataset_queries,
+    list_datasets,
+    load_dataset,
 )
 from repro.workloads.generators import (
     KEY_DISTRIBUTIONS,
@@ -33,12 +41,22 @@ from repro.workloads.generators import (
     zipf_keys,
 )
 
+from repro.workloads.keyset import KeySet
+
 __all__ = [
     "MAX_VECTOR_WIDTH",
+    "ByteKeySet",
+    "ByteQueryBatch",
     "EncodedKeySet",
+    "KeySet",
     "QueryBatch",
     "as_key_array",
+    "coerce_keys",
     "coerce_query_batch",
+    "DATASETS",
+    "dataset_queries",
+    "list_datasets",
+    "load_dataset",
     "KEY_DISTRIBUTIONS",
     "QUERY_FAMILIES",
     "random_keys",

@@ -30,12 +30,14 @@ import numpy as np
 
 from repro.keys.keyspace import KeySpace, sorted_distinct_keys
 from repro.keys.lcp import MAX_VECTOR_WIDTH, unique_prefix_counts, unique_prefix_counts_array
+from repro.workloads.keyset import KeySet
 
 __all__ = [
     "MAX_VECTOR_WIDTH",
     "EncodedKeySet",
     "QueryBatch",
     "as_key_array",
+    "coerce_keys",
     "coerce_query_batch",
     "slot_bounds",
 ]
@@ -69,7 +71,7 @@ def _is_vector_width(width: int) -> bool:
     return width <= MAX_VECTOR_WIDTH
 
 
-class EncodedKeySet:
+class EncodedKeySet(KeySet):
     """A sorted distinct key set in a ``width``-bit space, as a numpy array.
 
     ``keys`` holds ``int64`` values for word-sized spaces and Python ints
@@ -116,6 +118,10 @@ class EncodedKeySet:
         """Return the keys as a plain sorted list of Python ints."""
         return self.keys.tolist()
 
+    def as_ints(self) -> np.ndarray:
+        """The integer view of the keys — the backing array itself."""
+        return self.keys
+
     @classmethod
     def _trusted(cls, arr: np.ndarray, width: int) -> "EncodedKeySet":
         """Wrap an array already known to be sorted, distinct and in-bounds.
@@ -144,6 +150,10 @@ class EncodedKeySet:
                 f"slice [{start}, {stop}) outside the key set of size {len(self)}"
             )
         return self._trusted(self.keys[start:stop], self.width)
+
+    def sorted_take(self, indices: np.ndarray) -> "EncodedKeySet":
+        """Select distinct ``indices`` (any order) and re-sort the result."""
+        return self._trusted(np.sort(self.keys[indices]), self.width)
 
     def prefixes(self, length: int) -> np.ndarray:
         """Return the sorted distinct ``length``-bit key prefixes (cached)."""
@@ -289,7 +299,7 @@ class QueryBatch:
         one parent batch into many per-SST sub-batches (the LSM probe
         router) never pay for re-validation.
         """
-        sub = QueryBatch.__new__(QueryBatch)
+        sub = type(self).__new__(type(self))
         sub.width = self.width
         sub.los = self.los[indices]
         sub.his = self.his[indices]
@@ -330,18 +340,52 @@ def coerce_query_batch(queries, width: int) -> QueryBatch:
         if not queries._validated:
             queries._validate()
         return queries
-    return QueryBatch.from_pairs(queries, width)
+    pairs = list(queries)
+    if pairs and isinstance(pairs[0][0], (bytes, str, np.bytes_)):
+        from repro.workloads.bytekeys import ByteQueryBatch
+
+        return ByteQueryBatch.from_pairs(pairs, (width + 7) // 8)
+    return QueryBatch.from_pairs(pairs, width)
+
+
+def coerce_keys(keys, width: int | None = None) -> KeySet:
+    """Single key-ingestion entry point: return ``keys`` as a :class:`KeySet`.
+
+    Dispatches on the input representation — an existing :class:`KeySet`
+    passes through (its width must match when one is given), byte/str keys
+    become a :class:`~repro.workloads.bytekeys.ByteKeySet`, integers an
+    :class:`EncodedKeySet` — with the same ``ValueError`` messages as the
+    scalar entry points either way.
+    """
+    from repro.workloads.bytekeys import ByteKeySet
+
+    if isinstance(keys, KeySet):
+        if width is not None and keys.width != width:
+            raise ValueError(
+                f"key set width {keys.width} does not match filter width {width}"
+            )
+        return keys
+    concrete = keys if isinstance(keys, np.ndarray) else list(keys)
+    sample = concrete[0] if len(concrete) else None
+    if isinstance(sample, (bytes, str, np.bytes_)):
+        max_length = None if width is None else (width + 7) // 8
+        return ByteKeySet(concrete, max_length=max_length)
+    if width is None:
+        raise ValueError("an explicit width is required for integer keys")
+    return EncodedKeySet(concrete, width)
 
 
 def as_key_array(keys) -> np.ndarray:
     """Return ``keys`` as a 1-D numpy array (``int64`` when values fit).
 
-    Accepts numpy arrays, :class:`EncodedKeySet`, or any iterable of ints.
+    Accepts numpy arrays, any :class:`KeySet`, or any iterable of ints.
     The result is *not* deduplicated or validated — it is the probe-side
     helper for ``may_contain_many``, where duplicates are legitimate.
+    Byte key sets go through their :meth:`~KeySet.as_ints` shim (this is a
+    scalar-loop entry point, not a byte hot path).
     """
-    if isinstance(keys, EncodedKeySet):
-        return keys.keys
+    if isinstance(keys, KeySet):
+        return keys.as_ints()
     if isinstance(keys, np.ndarray) and keys.dtype.kind in "iu":
         return keys.astype(np.int64, copy=False)
     concrete = list(keys)

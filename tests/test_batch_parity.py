@@ -28,6 +28,7 @@ import pytest
 import repro.kernels as kernels
 from conftest import correlated_queries, mixed_queries, random_keys
 from repro.amq.bloom import BloomFilter
+from repro.api import FilterSpec, Workload, build_filter
 from repro.core.cpfpr import CPFPRModel
 from repro.core.design import design_one_pbf, design_proteus, design_two_pbf
 from repro.core.prf import OnePBF, TwoPBF
@@ -52,6 +53,12 @@ def workload():
     return keys, queries, probes
 
 
+def _self_designed(family, keys, queries, bits_per_key=12.0, width=WIDTH):
+    """Build a self-designing family through the registry protocol."""
+    workload = Workload(keys, queries, key_space=IntegerKeySpace(width))
+    return build_filter(FilterSpec(family, float(bits_per_key)), workload.keys, workload)
+
+
 FILTER_FACTORIES = {
     "oracle": lambda keys, queries: TrieOracle(keys, WIDTH),
     "prefix_bloom": lambda keys, queries: PrefixBloomFilter(
@@ -62,15 +69,9 @@ FILTER_FACTORIES = {
     "rosetta": lambda keys, queries: Rosetta(
         keys, WIDTH, total_bits=32_000, num_levels=16
     ),
-    "one_pbf": lambda keys, queries: OnePBF.build(
-        keys, queries, bits_per_key=12, key_space=IntegerKeySpace(WIDTH)
-    ),
-    "two_pbf": lambda keys, queries: TwoPBF.build(
-        keys, queries, bits_per_key=12, key_space=IntegerKeySpace(WIDTH)
-    ),
-    "proteus": lambda keys, queries: Proteus.build(
-        keys, queries, bits_per_key=12, key_space=IntegerKeySpace(WIDTH)
-    ),
+    "one_pbf": lambda keys, queries: _self_designed("1pbf", keys, queries),
+    "two_pbf": lambda keys, queries: _self_designed("2pbf", keys, queries),
+    "proteus": lambda keys, queries: _self_designed("proteus", keys, queries),
 }
 
 
@@ -86,6 +87,57 @@ def test_filter_batch_equals_scalar_loop(name, backend, workload):
         range_loop = [filt.may_intersect(lo, hi) for lo, hi in queries]
     assert point_batch.dtype == bool and list(point_batch) == point_loop, name
     assert range_batch.dtype == bool and list(range_batch) == range_loop, name
+
+
+@pytest.fixture(scope="module")
+def byte_workload():
+    """A variable-length byte-string workload (bundled DBLP-style corpus)."""
+    from repro.workloads import load_dataset
+
+    workload = load_dataset("dblp", num_keys=1200, num_queries=400, seed=9)
+    rng = random.Random(83)
+    raw = workload.keys.as_list()
+    probes = rng.sample(raw, 150) + [key[:-2] + b"zz" for key in rng.sample(raw, 150)]
+    return workload, probes
+
+
+#: Same families as FILTER_FACTORIES, but keyed by ByteKeySet workloads —
+#: the fixed baselines coerce raw byte keys, the self-designing families
+#: go through the registry (spec params default as in FILTER_FACTORIES).
+BYTE_FILTER_FACTORIES = {
+    "oracle": lambda wl: TrieOracle(wl.keys.keys, wl.width),
+    "prefix_bloom": lambda wl: build_filter(
+        FilterSpec("prefix_bloom", 12.0), wl.keys, wl
+    ),
+    "surf": lambda wl: build_filter(FilterSpec("surf", 12.0), wl.keys, wl),
+    "rosetta": lambda wl: build_filter(FilterSpec("rosetta", 12.0), wl.keys, wl),
+    "one_pbf": lambda wl: build_filter(FilterSpec("1pbf", 12.0), wl.keys, wl),
+    "two_pbf": lambda wl: build_filter(FilterSpec("2pbf", 12.0), wl.keys, wl),
+    "proteus": lambda wl: build_filter(FilterSpec("proteus", 12.0), wl.keys, wl),
+}
+
+
+@pytest.mark.parametrize("backend", kernels.available_backends())
+@pytest.mark.parametrize("name", sorted(BYTE_FILTER_FACTORIES))
+def test_byte_filter_batch_equals_scalar_loop(name, backend, byte_workload):
+    # Byte-mode parity: batched probes take raw byte strings (S-dtype rows);
+    # the scalar reference speaks the padded big-integer encoded domain.
+    workload, probes = byte_workload
+    space = workload.key_space
+    with kernels.use_backend(backend):
+        filt = BYTE_FILTER_FACTORIES[name](workload)
+        point_batch = filt.may_contain_many(
+            np.array(probes, dtype=workload.keys.keys.dtype)
+        )
+        point_loop = [filt.may_contain(space.encode(probe)) for probe in probes]
+        range_batch = filt.may_intersect_many(workload.queries)
+        range_loop = [
+            filt.may_intersect(lo, hi) for lo, hi in workload.queries.pairs()
+        ]
+    assert point_batch.dtype == bool and list(point_batch) == point_loop, name
+    assert range_batch.dtype == bool and list(range_batch) == range_loop, name
+    # Zero false negatives on the keys themselves, probed as raw bytes.
+    assert filt.may_contain_many(workload.keys).all(), name
 
 
 def _backend_snapshot(keys, queries, probes) -> dict:
@@ -150,12 +202,18 @@ def test_one_pbf_wide_space_batch_takes_encoded_keys():
     # keys back through OnePBF.may_contain, which re-encodes raw keys —
     # double-encoding crashed or produced false negatives.
     from repro.keys.keyspace import StringKeySpace
+    from repro.workloads.batch import EncodedKeySet
 
     words = ["strawberry-fields", "marmalade-skies", "tangerine-trees"]
     space = StringKeySpace.for_keys(words)
-    filt = OnePBF.build(
-        words, [("a", "b"), ("tang", "tanh")], bits_per_key=16, key_space=space
+    # Encode through the space explicitly: this pins the *object-dtype*
+    # EncodedKeySet route (ByteKeySet coercion would sidestep the fallback).
+    workload = Workload(
+        EncodedKeySet.from_raw(words, space),
+        QueryBatch.from_raw([("a", "b"), ("tang", "tanh")], space),
+        key_space=space,
     )
+    filt = OnePBF.from_spec(FilterSpec("1pbf", 16.0), workload.keys, workload)
     encoded = [space.encode(word) for word in words]
     assert filt.may_contain_many(encoded).all()
     # The batch API speaks the encoded domain; the scalar API encodes raw
@@ -180,9 +238,8 @@ def test_width_63_full_space_query_does_not_overflow():
     assert list(pbf.may_intersect_many(full_space)) == [
         pbf.may_intersect(lo, hi) for lo, hi in full_space
     ]
-    proteus = Proteus.build(
-        keys, full_space + [(7, 9)], bits_per_key=16,
-        key_space=IntegerKeySpace(width),
+    proteus = _self_designed(
+        "proteus", keys, full_space + [(7, 9)], bits_per_key=16, width=width
     )
     assert list(proteus.may_intersect_many(full_space)) == [
         proteus.may_intersect(lo, hi) for lo, hi in full_space

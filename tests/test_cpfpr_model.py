@@ -1,7 +1,7 @@
 """CPFPR model tests: internal consistency and model-vs-empirical agreement.
 
 The acceptance bar for this subsystem: on a seeded 10k-key / 1k-query
-workload, ``Proteus.build`` must have zero false negatives and an empirical
+workload, the built Proteus filter must have zero false negatives and an empirical
 FPR within 2x of the CPFPR model's prediction (with a small additive term
 for sampling noise at near-zero rates).
 """
@@ -11,14 +11,18 @@ import random
 import pytest
 
 from conftest import correlated_queries, mixed_queries, random_keys
+from repro.api import FilterSpec, Workload, build_filter
 from repro.core.cpfpr import CPFPRModel
 from repro.core.design import design_one_pbf, design_proteus
-from repro.core.prf import OnePBF, TwoPBF
-from repro.core.proteus import Proteus
 from repro.filters.base import TrieOracle
 from repro.keys.keyspace import IntegerKeySpace
 
 WIDTH = 32
+
+
+def _self_designed(family, keys, queries, bits_per_key):
+    workload = Workload(keys, queries, key_space=IntegerKeySpace(WIDTH))
+    return build_filter(FilterSpec(family, float(bits_per_key)), workload.keys, workload)
 
 
 def _empirical_fpr(filt, oracle, queries):
@@ -103,9 +107,7 @@ class TestModelVsEmpirical:
         rng = random.Random(32)
         keys = random_keys(rng, 10_000, WIDTH)
         queries = mixed_queries(rng, keys, 1000, WIDTH)
-        filt = Proteus.build(
-            keys, queries, bits_per_key=12, key_space=IntegerKeySpace(WIDTH)
-        )
+        filt = _self_designed("proteus", keys, queries, bits_per_key=12)
         oracle = TrieOracle(keys, WIDTH)
         empirical, empty = _empirical_fpr(filt, oracle, queries)
         _assert_within_2x(empirical, filt.expected_fpr, empty)
@@ -114,9 +116,7 @@ class TestModelVsEmpirical:
         rng = random.Random(33)
         keys = random_keys(rng, 10_000, WIDTH)
         queries = correlated_queries(rng, keys, 1000, WIDTH)
-        filt = Proteus.build(
-            keys, queries, bits_per_key=12, key_space=IntegerKeySpace(WIDTH)
-        )
+        filt = _self_designed("proteus", keys, queries, bits_per_key=12)
         oracle = TrieOracle(keys, WIDTH)
         empirical, empty = _empirical_fpr(filt, oracle, queries)
         _assert_within_2x(empirical, filt.expected_fpr, empty)
@@ -128,9 +128,7 @@ class TestModelVsEmpirical:
         rng = random.Random(39)
         keys = random_keys(rng, 10_000, WIDTH)
         queries = mixed_queries(rng, keys, 1000, WIDTH)
-        filt = TwoPBF.build(
-            keys, queries, bits_per_key=12, key_space=IntegerKeySpace(WIDTH)
-        )
+        filt = _self_designed("2pbf", keys, queries, bits_per_key=12)
         oracle = TrieOracle(keys, WIDTH)
         empirical, empty = _empirical_fpr(filt, oracle, queries)
         _assert_within_2x(empirical, filt.expected_fpr, empty)
@@ -139,9 +137,7 @@ class TestModelVsEmpirical:
         rng = random.Random(43)
         keys = random_keys(rng, 10_000, WIDTH)
         queries = correlated_queries(rng, keys, 1000, WIDTH)
-        filt = TwoPBF.build(
-            keys, queries, bits_per_key=12, key_space=IntegerKeySpace(WIDTH)
-        )
+        filt = _self_designed("2pbf", keys, queries, bits_per_key=12)
         oracle = TrieOracle(keys, WIDTH)
         empirical, empty = _empirical_fpr(filt, oracle, queries)
         _assert_within_2x(empirical, filt.expected_fpr, empty)
@@ -150,9 +146,7 @@ class TestModelVsEmpirical:
         rng = random.Random(34)
         keys = random_keys(rng, 4000, WIDTH)
         queries = mixed_queries(rng, keys, 600, WIDTH)
-        filt = OnePBF.build(
-            keys, queries, bits_per_key=10, key_space=IntegerKeySpace(WIDTH)
-        )
+        filt = _self_designed("1pbf", keys, queries, bits_per_key=10)
         oracle = TrieOracle(keys, WIDTH)
         empirical, empty = _empirical_fpr(filt, oracle, queries)
         _assert_within_2x(empirical, filt.expected_fpr, empty)

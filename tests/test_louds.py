@@ -26,7 +26,6 @@ from repro.api import FilterSpec, Workload, build_filter
 from repro.core.proteus import Proteus
 from repro.filters.base import TrieOracle, key_to_bytes
 from repro.filters.surf import SuRF
-from repro.keys.keyspace import IntegerKeySpace
 from repro.trie.bitvector import RankSelectBitVector
 from repro.trie.fst import FastSuccinctTrie, FSTPrefixIndex
 from repro.trie.node_trie import ByteTrie
@@ -404,11 +403,11 @@ class TestProteusFstTrie:
         rng = random.Random(49)
         keys = clustered_keys(rng, 2000, WIDTH)
         queries = mixed_queries(rng, keys, 800, WIDTH)
-        sorted_impl = Proteus.build(
-            keys, queries, bits_per_key=16, key_space=IntegerKeySpace(WIDTH)
-        )
         workload = Workload(
             EncodedKeySet(keys, WIDTH), QueryBatch.from_pairs(queries, WIDTH)
+        )
+        sorted_impl = build_filter(
+            FilterSpec("proteus", 16.0), workload.keys, workload
         )
         fst_impl = build_filter(
             FilterSpec(

@@ -7,6 +7,7 @@ import pytest
 
 import repro
 from conftest import mixed_queries, random_keys
+from repro.api import FilterSpec, Workload, build_filter
 from repro.core.design import FilterDesign
 from repro.core.proteus import Proteus
 from repro.filters.base import TrieOracle
@@ -49,9 +50,8 @@ class TestBuildAcceptance:
         rng = random.Random(51)
         keys = random_keys(rng, 10_000, WIDTH)
         queries = mixed_queries(rng, keys, 1000, WIDTH)
-        filt = Proteus.build(
-            keys, queries, bits_per_key=14, key_space=IntegerKeySpace(WIDTH)
-        )
+        workload = Workload(keys, queries, key_space=IntegerKeySpace(WIDTH))
+        filt = build_filter(FilterSpec("proteus", 14.0), workload.keys, workload)
         return keys, queries, filt
 
     def test_returns_configured_filter(self, built):
@@ -121,15 +121,18 @@ class TestDirectConstruction:
 class TestStringKeys:
     def test_built_prfs_encode_raw_queries(self):
         # Regression: OnePBF/TwoPBF stored their key space but queried the
-        # raw domain without encoding, crashing on string keys.
+        # raw domain without encoding, crashing on string keys.  Kept on the
+        # legacy ``build`` classmethod deliberately — this doubles as the pin
+        # that the shim still works and announces its deprecation.
         from repro.core.prf import OnePBF, TwoPBF
 
         words = ["ab", "cd", "ef", "gh", "zz"]
         space = StringKeySpace.for_keys(words)
         for cls in (OnePBF, TwoPBF):
-            filt = cls.build(
-                words, [("aa", "ac"), ("x", "y")], bits_per_key=16, key_space=space
-            )
+            with pytest.warns(DeprecationWarning, match=f"{cls.__name__}.build"):
+                filt = cls.build(
+                    words, [("aa", "ac"), ("x", "y")], bits_per_key=16, key_space=space
+                )
             assert filt.may_contain("ab")
             assert filt.may_intersect("aa", "ac")
             assert all(filt.may_contain(w) for w in words)
@@ -150,9 +153,8 @@ class TestStringKeys:
             b = "".join(rng.choice(alphabet) for _ in range(3))
             lo, hi = sorted((a, b))
             queries.append((lo, hi))
-        filt = Proteus.build(
-            words, queries, bits_per_key=14, key_space=space
-        )
+        workload = Workload(words, queries, key_space=space)
+        filt = Proteus.from_spec(FilterSpec("proteus", 14.0), workload.keys, workload)
         encoded = space.encode_many(words)
         oracle = TrieOracle(encoded, space.width)
         assert all(filt.may_contain(word) for word in words)
