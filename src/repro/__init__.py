@@ -54,6 +54,12 @@ The package is organised as a set of small, focused subpackages:
     the ``ProbeTrace`` per-(query, SST) event recorder that reconciles
     exactly against ``ProbeResult``, and the ``DriftMonitor`` comparing
     observed per-batch FPR against the frozen CPFPR prediction.
+``repro.serve``
+    The serving layer: ``MicroBatcher`` coalescing awaited lookups into
+    query batches, key-space sharding over worker processes probing
+    shared-memory tree snapshots, and ``ShardedLookupService`` tying
+    route → dispatch → gather together (benchmarked by
+    ``python -m repro.evaluation.serve_bench``).
 
 The most common entry points are re-exported here.  Re-exports resolve
 lazily (PEP 562): a missing or broken subpackage surfaces as an error when
@@ -99,11 +105,14 @@ _LAZY_EXPORTS = {
     "MetricsRegistry": "repro.obs",
     "DriftMonitor": "repro.obs",
     "ProbeTrace": "repro.obs",
+    "MicroBatcher": "repro.serve",
+    "ServeError": "repro.serve",
+    "ShardedLookupService": "repro.serve",
 }
 
 __all__ = list(_LAZY_EXPORTS)
 
-__version__ = "1.8.0"
+__version__ = "1.10.0"
 
 
 def __getattr__(name: str):

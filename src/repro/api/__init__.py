@@ -23,6 +23,7 @@ their internal knobs from the budget as the paper's experimental setup does.
 
 from repro.api.budget import (
     allocate_sst_budgets,
+    derive_shard_specs,
     derive_sst_specs,
     resplit_on_topology_change,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "family",
     "build_filter",
     "allocate_sst_budgets",
+    "derive_shard_specs",
     "derive_sst_specs",
     "resplit_on_topology_change",
 ]

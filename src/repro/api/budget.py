@@ -30,6 +30,7 @@ from repro.api.spec import FilterSpec
 __all__ = [
     "ALLOCATION_POLICIES",
     "allocate_sst_budgets",
+    "derive_shard_specs",
     "derive_sst_specs",
     "resplit_on_topology_change",
 ]
@@ -80,6 +81,31 @@ def derive_sst_specs(
     sst.keys, shared_workload)``.
     """
     budgets = allocate_sst_budgets(spec.bits_per_key, key_counts, policy)
+    return [spec.with_budget(budget) for budget in budgets]
+
+
+def derive_shard_specs(
+    spec: FilterSpec,
+    shard_key_counts: Sequence[int],
+    policy: str = "proportional",
+) -> list[FilterSpec]:
+    """Split a global spec across serving shards, one level above the SSTs.
+
+    The sharded serving layer (:mod:`repro.serve`) partitions one tree's
+    keys across worker processes; each shard then runs
+    :func:`derive_sst_specs` over its own tables.  This helper is the
+    outer split of that two-level allocation: the same
+    :func:`allocate_sst_budgets` arithmetic with shards as the units, so
+    the global-grant invariant holds at shard granularity
+    (``sum(b_s * n_s) == bits_per_key * sum(n_s)``) and therefore — both
+    policies preserve totals through the inner split — for the whole
+    fleet.  Under ``proportional`` the composition is exactly the
+    unsharded allocation (every SST everywhere at the global bits per
+    key); under ``equal`` the strawman evens *shard* totals first, so
+    shards with unequal SST counts diverge from the unsharded equal
+    split — the documented price of composing the strawman.
+    """
+    budgets = allocate_sst_budgets(spec.bits_per_key, shard_key_counts, policy)
     return [spec.with_budget(budget) for budget in budgets]
 
 

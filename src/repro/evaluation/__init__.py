@@ -15,6 +15,11 @@
   measured LOUDS-DS footprints vs the size model's predictions, zero
   false negatives and succinct-vs-reference answer parity across every
   seeded workload family (``python -m repro.evaluation.size_check``).
+* :mod:`repro.evaluation.serve_bench` measures the sharded serving layer
+  — sustained QPS and micro-batched p50/p95/p99 latency per filter
+  family and shard count, every answer cross-checked, with a
+  machine-portable scaling regression gate
+  (``python -m repro.evaluation.serve_bench``).
 """
 
 __all__ = [
@@ -23,6 +28,8 @@ __all__ = [
     "check_monotone",
     "run_lsm_bench",
     "run_size_check",
+    "run_serve_bench",
+    "check_serve_report",
 ]
 
 _LAZY = {
@@ -31,6 +38,8 @@ _LAZY = {
     "check_monotone": "repro.evaluation.sweep",
     "run_lsm_bench": "repro.evaluation.lsm_bench",
     "run_size_check": "repro.evaluation.size_check",
+    "run_serve_bench": "repro.evaluation.serve_bench",
+    "check_serve_report": "repro.evaluation.serve_bench",
 }
 
 

@@ -36,7 +36,7 @@ import random
 from repro.api import FilterSpec
 from repro.lsm import CostModel, FilterLifecycle, OnlineLSMTree
 from repro.obs.metrics import MetricsRegistry, timed
-from repro.workloads.batch import QueryBatch, as_key_array
+from repro.workloads.batch import QueryBatch, probe_key_array
 from repro.workloads.generators import (
     KEY_DISTRIBUTIONS,
     correlated_queries,
@@ -233,8 +233,11 @@ def run_timeline_bench(
     # so the check covers the whole history, not just what probe sees).
     for tree in (adaptive, static):
         tree.flush()
-    touched = as_key_array(sorted(truth))
-    expected = [truth[int(key)] for key in touched.tolist()]
+    # probe_key_array keeps the sorted order and native representation
+    # (ints today, raw str/bytes if the stream ever carries them) — the
+    # same dispatch lookup_many itself applies.
+    touched = probe_key_array(sorted(truth), width)
+    expected = [truth[key] for key in touched.tolist()]
     lookup_consistent = {
         name: bool((tree.lookup_many(touched).tolist() == expected))
         for name, tree in (("adaptive", adaptive), ("static", static))

@@ -86,6 +86,16 @@ class MemTable:
         """``True`` if buffered live, ``False`` if tombstoned, ``None`` if absent."""
         return self._entries.get(self._check_key(key))
 
+    def sample_key(self):
+        """Any one buffered key, or ``None`` when empty.
+
+        The read path's representation probe: a memtable holds one kind
+        of key (``bytes`` or ``int``), so a single sample tells a caller
+        which probe representation this tree expects before any SST
+        exists to reveal it.
+        """
+        return next(iter(self._entries), None)
+
     def __len__(self) -> int:
         return len(self._entries)
 

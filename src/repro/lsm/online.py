@@ -42,9 +42,7 @@ from repro.lsm.sstable import SSTable
 from repro.lsm.tree import DEFAULT_FANOUT, DEFAULT_SST_KEYS, LSMTree
 from repro.obs.metrics import timed
 from repro.obs.trace import ProbeTrace
-from repro.keys.keyspace import StringKeySpace
-from repro.workloads.batch import QueryBatch, as_key_array
-from repro.workloads.keyset import KeySet
+from repro.workloads.batch import QueryBatch, probe_key_array
 
 __all__ = ["OnlineLSMTree"]
 
@@ -354,24 +352,24 @@ class OnlineLSMTree:
         return self.snapshot().probe(queries, trace=trace, sst_stats=sst_stats)
 
     def _probe_array(self, keys) -> np.ndarray:
-        """Probe keys as a numpy array in the tree's native key order."""
-        if isinstance(keys, KeySet):
-            return keys.keys
-        if isinstance(keys, np.ndarray) and keys.dtype.kind == "S":
-            probes: list | None = keys.tolist()
+        """Probe keys as a numpy array in the tree's native key order.
+
+        Delegates to :func:`~repro.workloads.batch.probe_key_array` — the
+        same representation dispatch ``coerce_keys`` gives the static
+        build path, but order- and duplicate-preserving, with over-length
+        byte probes rejected (truncation could fabricate a hit) and
+        probes of the wrong representation rejected against what the
+        tree actually holds (first SST, else the buffered memtable kind).
+        """
+        expect_bytes: bool | None = None
+        ssts = self.sstables()
+        if ssts:
+            expect_bytes = ssts[0].keys.is_bytes
         else:
-            concrete = list(keys)
-            if concrete and isinstance(concrete[0], (bytes, str)):
-                probes = [
-                    StringKeySpace._as_bytes(key).rstrip(b"\x00")
-                    for key in concrete
-                ]
-            else:
-                probes = None
-                keys = concrete
-        if probes is not None:
-            return np.array(probes, dtype=f"S{self.width // 8}")
-        return as_key_array(keys)
+            sample = self.memtable.sample_key()
+            if sample is not None:
+                expect_bytes = isinstance(sample, bytes)
+        return probe_key_array(keys, self.width, expect_bytes=expect_bytes)
 
     def lookup_many(self, keys) -> np.ndarray:
         """Live membership per key: the newest entry wins, tombstones hide.

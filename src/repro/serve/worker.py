@@ -1,0 +1,114 @@
+"""Shard worker: probe a shared-memory tree snapshot in a child process.
+
+The worker protocol is deliberately tiny — one request queue in, one
+shared reply queue out:
+
+* parent → worker: ``(request_id, los, his)`` with numpy bound arrays
+  already validated by the parent's router (the worker rebuilds the
+  sub-batch with the validated flag set, so no re-validation cost), or
+  ``None`` as the shutdown sentinel;
+* worker → parent: uniform ``(kind, request_id, shard_id, payload)``
+  tuples — ``("ready", -1, shard_id, None)`` once the snapshot is
+  attached, then ``("ok", request_id, shard_id, (answers, stats))`` per
+  request or ``("error", request_id, shard_id, message)`` if a probe
+  raised (``request_id`` is ``-1`` for a startup failure).
+
+Answers are ground truth (``required_reads > 0``) — the filter decides
+what gets *charged*, never what is *answered* — and ``stats`` carries the
+cost-model aggregates (blocks read, false positives, filter probes) so
+the service can expose fleet-wide accounting through :mod:`repro.obs`.
+
+Lifecycle: the worker only ever *attaches* segments (through
+:func:`~repro.serve.shm.attach_segment`, which opts out of resource
+tracking) and closes its mappings on the way out; creating and unlinking
+stay with the parent, so a worker crash cannot leak or destroy a
+segment.  See :mod:`repro.serve.shm` for the full ownership rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serve.shm import attach_tree
+from repro.workloads.batch import QueryBatch
+from repro.workloads.bytekeys import ByteQueryBatch
+
+__all__ = ["rebuild_batch", "worker_main"]
+
+
+def rebuild_batch(
+    los: np.ndarray, his: np.ndarray, width: int, max_length: int | None
+) -> QueryBatch:
+    """Reassemble a pre-validated sub-batch from its bound arrays.
+
+    The parent carved these out of one validated batch with
+    :meth:`~repro.workloads.batch.QueryBatch.select`-style indexing, so
+    the invariants hold by construction and the sticky ``_validated``
+    flag is set directly — the worker never re-validates per request.
+    """
+    if max_length is not None:
+        batch: QueryBatch = ByteQueryBatch(los, his, max_length, validate=False)
+    else:
+        batch = QueryBatch(los, his, width, validate=False)
+    batch._validated = True
+    return batch
+
+
+def probe_stats(result) -> dict:
+    """Cost-model aggregates of one :class:`~repro.lsm.cost.ProbeResult`."""
+    return {
+        "blocks_read": int(result.blocks_read.sum()),
+        "required_reads": int(result.required_reads.sum()),
+        "false_positive_reads": int(result.false_positive_reads.sum()),
+        "filter_probes": int(result.filter_probes.sum()),
+    }
+
+
+def worker_main(
+    shard_id: int,
+    snapshot_spec: dict,
+    filters: list,
+    max_length: int | None,
+    request_queue,
+    reply_queue,
+) -> None:
+    """Worker entry point: attach the snapshot, answer until the sentinel.
+
+    Runs in a spawned child.  Any exception while answering one request is
+    reported as an ``("error", ...)`` reply and the loop continues — a
+    malformed batch must not take the shard down; only the ``None``
+    sentinel (or queue breakage at parent death) ends the worker.
+    """
+    tree = None
+    segments = []
+    try:
+        try:
+            tree, segments = attach_tree(snapshot_spec, filters)
+        except BaseException as exc:  # report, then die: parent sees non-ready
+            reply_queue.put(("error", -1, shard_id, repr(exc)))
+            raise
+        width = tree.width
+        reply_queue.put(("ready", -1, shard_id, None))
+        while True:
+            message = request_queue.get()
+            if message is None:
+                break
+            request_id, los, his = message
+            try:
+                batch = rebuild_batch(los, his, width, max_length)
+                result = tree.probe(batch)
+                answers = np.asarray(result.required_reads > 0, dtype=bool)
+                reply_queue.put(
+                    ("ok", request_id, shard_id, (answers, probe_stats(result)))
+                )
+            except Exception as exc:
+                reply_queue.put(("error", request_id, shard_id, repr(exc)))
+    finally:
+        # Drop every view into the segments before closing the mappings —
+        # closing with live buffer exports raises BufferError.
+        del tree
+        for segment in segments:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - exit cleans up anyway
+                pass

@@ -39,6 +39,7 @@ __all__ = [
     "as_key_array",
     "coerce_keys",
     "coerce_query_batch",
+    "probe_key_array",
     "slot_bounds",
 ]
 
@@ -373,6 +374,54 @@ def coerce_keys(keys, width: int | None = None) -> KeySet:
     if width is None:
         raise ValueError("an explicit width is required for integer keys")
     return EncodedKeySet(concrete, width)
+
+
+def probe_key_array(
+    keys, width: int, expect_bytes: bool | None = None
+) -> np.ndarray:
+    """Probe keys as an array in a tree's native key order (lookup dispatch).
+
+    The lookup-side counterpart of :func:`coerce_keys`: the same
+    representation dispatch (byte/str probes become a canonical ``S``
+    array in memcmp order, integers stay int64/object), but **order- and
+    duplicate-preserving** — lookups are positional, so probes must never
+    be sorted or deduplicated.  Byte probes longer than the key space
+    raise (silent ``S``-dtype truncation could fabricate a membership
+    answer for a key that cannot exist); ``expect_bytes`` lets a caller
+    that knows its tree's representation reject mismatched probes with a
+    clear error instead of a downstream dtype failure.
+    """
+    from repro.workloads.bytekeys import ByteKeySet, _clean_key
+
+    num_bytes = (width + 7) // 8
+    if isinstance(keys, KeySet):
+        if keys.width != width:
+            raise ValueError(
+                f"key set width {keys.width} does not match probe width {width}"
+            )
+        if expect_bytes is not None and keys.is_bytes != expect_bytes:
+            raise ValueError(
+                "byte-keyed probes against an integer-keyed tree"
+                if keys.is_bytes
+                else "integer probes against a byte-keyed tree"
+            )
+        return keys.keys
+    if isinstance(keys, np.ndarray) and keys.dtype.kind == "S":
+        probes = [value.rstrip(b"\x00") for value in keys.tolist()]
+    else:
+        concrete = list(keys)
+        if concrete and isinstance(concrete[0], (bytes, str, np.bytes_)):
+            probes = [_clean_key(key) for key in concrete]
+        else:
+            if expect_bytes:
+                raise ValueError("integer probes against a byte-keyed tree")
+            return as_key_array(concrete)
+    if expect_bytes is not None and not expect_bytes:
+        raise ValueError("byte-keyed probes against an integer-keyed tree")
+    longest = max((len(probe) for probe in probes), default=0)
+    if longest > num_bytes:
+        raise ValueError(f"key of length {longest} exceeds maximum {num_bytes}")
+    return np.array(probes, dtype=f"S{num_bytes}")
 
 
 def as_key_array(keys) -> np.ndarray:

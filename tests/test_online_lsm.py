@@ -411,3 +411,68 @@ class TestTimelineBench:
             for name in counters
         )
         assert counters["lifecycle.filters_rebuilt"] > 0
+
+
+class TestLookupProbeDispatch:
+    """``lookup_many`` accepts raw iterables through coerce-style dispatch.
+
+    Regression cluster for the pre-PR-10 probe path, which built
+    ``np.array(probes, dtype=f"S{width//8}")`` directly: over-length byte
+    probes were silently *truncated* — a probe for a key that cannot
+    exist in the space could come back ``True`` — and representation
+    mismatches surfaced as opaque numpy dtype errors.  The path now
+    dispatches through ``probe_key_array``.
+    """
+
+    def _byte_tree(self):
+        tree = OnlineLSMTree(40, sst_keys=32, memtable_capacity=16)
+        for word in [b"ant", b"bee", b"cat", b"dove", b"eel", b"fox"]:
+            tree.put(word)
+        tree.flush()
+        tree.put(b"gnu")  # stays buffered: exercises the memtable branch
+        return tree
+
+    def test_lookup_many_accepts_raw_str_and_bytes(self):
+        tree = self._byte_tree()
+        answers = tree.lookup_many(["ant", b"bee", "gnu", "yak", b"zz"])
+        assert answers.tolist() == [True, True, True, False, False]
+
+    def test_lookup_many_accepts_int_iterables_and_generators(self):
+        tree = OnlineLSMTree(WIDTH, sst_keys=32, memtable_capacity=16)
+        for key in [3, 900, 41_000]:
+            tree.put(key)
+        tree.flush()
+        answers = tree.lookup_many(key for key in [3, 4, 900, 41_000])
+        assert answers.tolist() == [True, False, True, True]
+
+    def test_overlength_byte_probe_raises_instead_of_truncating(self):
+        tree = self._byte_tree()  # 40-bit space: keys are at most 5 bytes
+        with pytest.raises(ValueError, match="exceeds maximum 5"):
+            tree.lookup_many([b"antelope"])
+        # The 5-byte prefix of the rejected probe is absent: silent
+        # truncation would have had nothing to collide with here, but
+        # probing b"dovex" truncated to a stored key is the real hazard.
+        with pytest.raises(ValueError, match="exceeds maximum 5"):
+            tree.lookup_many([b"dove\x00x"])
+
+    def test_representation_mismatch_raises_clearly(self):
+        byte_tree = self._byte_tree()
+        with pytest.raises(ValueError, match="integer probes against a byte-keyed"):
+            byte_tree.lookup_many([17])
+        int_tree = OnlineLSMTree(WIDTH, sst_keys=32, memtable_capacity=16)
+        int_tree.put(5)
+        int_tree.flush()
+        with pytest.raises(ValueError, match="byte-keyed probes against an integer"):
+            int_tree.lookup_many([b"abc"])
+
+    def test_memtable_only_tree_still_detects_representation(self):
+        tree = OnlineLSMTree(40, memtable_capacity=16)
+        tree.put(b"ant")  # no flush: only the memtable knows the kind
+        with pytest.raises(ValueError, match="integer probes against a byte-keyed"):
+            tree.lookup_many([17])
+        assert tree.lookup_many([b"ant", b"bee"]).tolist() == [True, False]
+
+    def test_duplicate_probes_keep_positions(self):
+        tree = self._byte_tree()
+        answers = tree.lookup_many([b"cat", b"cat", b"nope", b"cat"])
+        assert answers.tolist() == [True, True, False, True]

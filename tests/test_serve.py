@@ -1,0 +1,455 @@
+"""The serving layer: micro-batcher, shard router, worker processes, shm.
+
+Four clusters of coverage:
+
+* **MicroBatcher** — unit behaviour (size flush, delay flush, close
+  flush, point = degenerate range) plus a seeded concurrency stress:
+  many async producers interleaving point and range lookups against a
+  ground truth, asserting every caller got exactly *its* answer (no
+  cross-talk, no drops) across forced batch-boundary races;
+* **routing** — ``plan_shard_bounds`` / ``split_key_set`` /
+  ``route_queries`` edge cases: straddling ranges fan out to every
+  overlapped shard, gap queries route nowhere, single-key shards;
+* **service** — inline and process modes answer identically to the
+  unsharded tree for the same seeded workload, for int and byte keys;
+  ``from_online`` freezes a live tree's snapshot (the parent keeps
+  ingesting afterwards without perturbing served answers);
+* **shared-memory lifecycle** — closing the service (or failing to
+  start it, or a worker being SIGKILLed mid-flight) never leaks a
+  ``/dev/shm`` segment; a killed worker surfaces as :class:`ServeError`,
+  not a hang.
+
+Process-mode tests use the real ``spawn`` start method — that is what
+exercises attach-by-name in the workers — and are kept small so the
+suite stays fast on one core.
+"""
+
+import asyncio
+import os
+import random
+import signal
+
+import numpy as np
+import pytest
+
+from repro.api import FilterSpec, derive_shard_specs
+from repro.lsm.online import OnlineLSMTree
+from repro.lsm.tree import LSMTree
+from repro.serve import (
+    MicroBatcher,
+    ServeError,
+    ShardedLookupService,
+    attach_tree,
+    plan_shard_bounds,
+    route_queries,
+    shard_fences,
+    snapshot_tree,
+    split_key_set,
+)
+from repro.workloads.batch import QueryBatch, coerce_keys
+
+WIDTH = 24
+
+
+def _population(seed=7, size=3000):
+    rng = random.Random(seed)
+    return sorted(rng.sample(range(1 << WIDTH), size))
+
+
+def _truth(keys, lo, hi):
+    arr = np.asarray(keys)
+    idx = np.searchsorted(arr, lo)
+    return bool(idx < arr.size and arr[idx] <= hi)
+
+
+# --------------------------------------------------------------------- #
+# MicroBatcher                                                          #
+# --------------------------------------------------------------------- #
+
+
+class RecordingBackend:
+    """A synchronous answer_batch that records every batch it saw."""
+
+    def __init__(self, keys):
+        self.keys = np.asarray(keys)
+        self.batches = []
+
+    def __call__(self, los, his):
+        self.batches.append(len(los))
+        idx = np.searchsorted(self.keys, los)
+        safe = np.minimum(idx, self.keys.size - 1)
+        return (idx < self.keys.size) & (self.keys[safe] <= his)
+
+
+def test_batcher_size_flush_coalesces_exactly_max_batch():
+    keys = _population()
+    backend = RecordingBackend(keys)
+
+    async def run():
+        async with MicroBatcher(backend, max_batch=8, max_delay=60.0) as batcher:
+            # max_delay is effectively "never": only the size trigger can
+            # flush, so issuing exactly max_batch lookups must release
+            # them all as one batch.
+            lookups = [
+                batcher.lookup(key - 5, key + 5) for key in keys[:8]
+            ]
+            return await asyncio.gather(*lookups)
+
+    answers = asyncio.run(run())
+    assert answers == [True] * 8
+    assert backend.batches[0] == 8
+
+
+def test_batcher_delay_flush_releases_partial_batch():
+    keys = _population()
+    backend = RecordingBackend(keys)
+
+    async def run():
+        async with MicroBatcher(backend, max_batch=1000, max_delay=0.005) as b:
+            return await asyncio.gather(b.point(keys[0]), b.point(keys[0] + 1))
+
+    answers = asyncio.run(run())
+    assert answers[0] is True
+    assert backend.batches == [2]  # delay fired well below max_batch
+
+
+def test_batcher_close_flushes_pending_and_rejects_new_lookups():
+    keys = _population()
+    backend = RecordingBackend(keys)
+
+    async def run():
+        batcher = MicroBatcher(backend, max_batch=1000, max_delay=60.0)
+        pending = asyncio.ensure_future(batcher.lookup(keys[0], keys[0]))
+        await asyncio.sleep(0)  # let the lookup enqueue
+        await batcher.close()
+        answer = await pending
+        with pytest.raises(RuntimeError, match="closed"):
+            await batcher.lookup(0, 1)
+        return answer
+
+    assert asyncio.run(run()) is True
+
+
+def test_batcher_backend_failure_propagates_to_every_waiter():
+    def exploding(los, his):
+        raise RuntimeError("backend down")
+
+    async def run():
+        async with MicroBatcher(exploding, max_batch=4, max_delay=0.001) as b:
+            lookups = [b.point(i) for i in range(4)]
+            return await asyncio.gather(*lookups, return_exceptions=True)
+
+    results = asyncio.run(run())
+    assert all(isinstance(r, RuntimeError) for r in results)
+
+
+def test_batcher_concurrency_stress_no_crosstalk_no_drops():
+    """N producers, interleaved point/range mixes, forced boundary races.
+
+    max_batch=16 with 12 producers × 25 requests guarantees many flushes
+    land mid-producer, so requests from different producers share
+    batches constantly; per-request truth must still come back to the
+    producer that asked.
+    """
+    keys = _population(seed=23)
+    backend = RecordingBackend(keys)
+    rng = random.Random(99)
+    producers = 12
+    per_producer = 25
+    plans = []  # per producer: list of (lo, hi, expected)
+    for _ in range(producers):
+        plan = []
+        for _ in range(per_producer):
+            if rng.random() < 0.5:
+                key = rng.choice(keys) if rng.random() < 0.5 else rng.randrange(1 << WIDTH)
+                plan.append((key, key, _truth(keys, key, key)))
+            else:
+                lo = rng.randrange(1 << WIDTH)
+                hi = min((1 << WIDTH) - 1, lo + rng.randrange(2048))
+                plan.append((lo, hi, _truth(keys, lo, hi)))
+        plans.append(plan)
+
+    async def producer(batcher, plan, jitter_seed):
+        jitter = random.Random(jitter_seed)
+        answers = []
+        for lo, hi, _ in plan:
+            if jitter.random() < 0.2:
+                await asyncio.sleep(0)  # shuffle arrival order across producers
+            answers.append(await batcher.lookup(lo, hi))
+        return answers
+
+    async def run():
+        async with MicroBatcher(backend, max_batch=16, max_delay=0.001) as b:
+            return await asyncio.gather(
+                *[producer(b, plan, i) for i, plan in enumerate(plans)]
+            )
+
+    all_answers = asyncio.run(run())
+    for plan, answers in zip(plans, all_answers):
+        assert len(answers) == per_producer  # no drops
+        assert answers == [expected for _, _, expected in plan]  # no cross-talk
+    assert sum(backend.batches) == producers * per_producer
+    assert max(backend.batches) > 1  # coalescing actually happened
+
+
+# --------------------------------------------------------------------- #
+# Routing                                                               #
+# --------------------------------------------------------------------- #
+
+
+def test_plan_shard_bounds_covers_everything_without_overlap():
+    for num_keys, shards in [(10, 3), (7, 7), (5, 9), (1000, 4)]:
+        bounds = plan_shard_bounds(num_keys, shards)
+        assert bounds[0][0] == 0 and bounds[-1][1] == num_keys
+        sizes = [stop - start for start, stop in bounds]
+        assert all(size > 0 for size in sizes)
+        assert sum(sizes) == num_keys
+        assert max(sizes) - min(sizes) <= 1
+        # Contiguous: each shard starts where the previous one stopped.
+        assert all(b[0] == a[1] for a, b in zip(bounds, bounds[1:]))
+
+
+def test_route_queries_straddles_and_gaps():
+    key_set = coerce_keys(list(range(0, 4000, 10)), WIDTH)
+    shards = split_key_set(key_set, 4)
+    mins, maxs = shard_fences(shards)
+    boundary = int(maxs[0])  # last key of shard 0
+    los = np.array([boundary, boundary + 1, 0], dtype=np.int64)
+    his = np.array([int(mins[1]), boundary + 5, 3990], dtype=np.int64)
+    first, last = route_queries(mins, maxs, los, his)
+    assert (first[0], last[0]) == (0, 2)  # straddles shards 0 and 1
+    assert first[1] >= last[1]  # gap between fences: routes nowhere
+    assert (first[2], last[2]) == (0, 4)  # full-space range hits all four
+
+
+def test_self_designing_spec_without_workload_fails_at_the_boundary():
+    keys = _population(size=300)
+    with pytest.raises(ValueError, match="self-designing.*workload"):
+        ShardedLookupService.build(
+            coerce_keys(keys, WIDTH),
+            num_shards=2,
+            spec=FilterSpec("proteus", 12.0),
+            mode="inline",
+        )
+
+
+def test_derive_shard_specs_preserves_global_budget():
+    spec = FilterSpec("bloom", 10.0)
+    counts = [100, 50, 25]
+    shard_specs = derive_shard_specs(spec, counts)
+    granted = sum(s.bits_per_key * n for s, n in zip(shard_specs, counts))
+    assert granted == pytest.approx(spec.bits_per_key * sum(counts))
+
+
+# --------------------------------------------------------------------- #
+# Service: inline and process answers match the unsharded tree          #
+# --------------------------------------------------------------------- #
+
+
+def _eval_queries(keys, seed=5, count=600):
+    rng = random.Random(seed)
+    los, his = [], []
+    for _ in range(count):
+        if rng.random() < 0.5:
+            key = rng.choice(keys) if rng.random() < 0.4 else rng.randrange(1 << WIDTH)
+            los.append(key), his.append(key)
+        else:
+            lo = rng.randrange(1 << WIDTH)
+            los.append(lo), his.append(min((1 << WIDTH) - 1, lo + rng.randrange(4096)))
+    return np.array(los, dtype=np.int64), np.array(his, dtype=np.int64)
+
+
+@pytest.mark.parametrize("mode", ["inline", "process"])
+def test_service_matches_monolithic_tree_int_keys(mode):
+    keys = _population(seed=11, size=2000)
+    los, his = _eval_queries(keys)
+    spec = FilterSpec("bloom", 12.0)
+    monolith = LSMTree.build(coerce_keys(keys, WIDTH), sst_keys=256, seed=0)
+    expected = np.array(
+        [_truth(keys, int(lo), int(hi)) for lo, hi in zip(los, his)]
+    )
+    with ShardedLookupService.build(
+        coerce_keys(keys, WIDTH),
+        num_shards=3,
+        spec=spec,
+        sst_keys=256,
+        mode=mode,
+    ) as service:
+        answers, stats = service.serve_batch(los, his)
+        assert (answers == expected).all()
+        assert stats["filter_probes"] > 0
+        assert sum(stats["shard_queries"]) + stats["routed_none"] >= los.size
+        assert service.describe()["num_shards"] == 3
+    assert monolith.num_keys == sum(service.shard_sizes)
+
+
+@pytest.mark.parametrize("mode", ["inline", "process"])
+def test_service_matches_truth_byte_keys(mode):
+    rng = random.Random(31)
+    words = sorted(
+        {
+            bytes(rng.choice(b"abcdxyz") for _ in range(rng.randrange(1, 6)))
+            for _ in range(600)
+        }
+    )
+    pairs = []
+    for _ in range(200):
+        lo = bytes(rng.choice(b"abcdxyz") for _ in range(rng.randrange(1, 4)))
+        hi = lo + b"zz" if rng.random() < 0.5 else lo  # still <= 5 bytes
+        pairs.append((lo, hi))
+    expected = [any(lo <= w <= hi for w in words) for lo, hi in pairs]
+    with ShardedLookupService.build(
+        words, num_shards=2, sst_keys=128, mode=mode
+    ) as service:
+        answers, _ = service.serve_batch(
+            [lo for lo, _ in pairs], [hi for _, hi in pairs]
+        )
+    assert answers.tolist() == expected
+
+
+def test_service_points_and_answer_batch():
+    keys = _population(seed=17, size=800)
+    with ShardedLookupService.build(
+        coerce_keys(keys, WIDTH), num_shards=2, mode="inline"
+    ) as service:
+        probes = keys[:20] + [keys[0] + 1, keys[-1] + 1]
+        answers, stats = service.serve_batch(probes)  # his=None: point mode
+        assert answers[:20].all()
+        assert stats["required_reads"] >= 20
+        plain = service.answer_batch(probes, probes)
+        assert (plain == answers).all()
+
+
+def test_service_closed_rejects_and_close_is_idempotent():
+    keys = _population(size=300)
+    service = ShardedLookupService.build(
+        coerce_keys(keys, WIDTH), num_shards=2, mode="inline"
+    )
+    service.close()
+    service.close()
+    with pytest.raises(ServeError, match="closed"):
+        service.serve_batch([1], [2])
+
+
+def test_from_online_snapshot_is_isolated_from_later_writes():
+    tree = OnlineLSMTree(
+        WIDTH, spec=FilterSpec("bloom", 12.0), sst_keys=64, memtable_capacity=64
+    )
+    keys = _population(seed=41, size=700)
+    for key in keys[:600]:
+        tree.put(key)
+    tree.delete(keys[0])
+    tree.flush()
+    live = set(keys[1:600])
+    with ShardedLookupService.from_online(tree, num_shards=2, mode="inline") as service:
+        # The parent keeps ingesting and compacting after the snapshot...
+        for key in keys[600:]:
+            tree.put(key)
+        tree.flush()
+        probes = keys[:700]
+        answers, _ = service.serve_batch(probes)
+        # ...but served answers stay frozen at snapshot time: the
+        # tombstoned key and the post-snapshot keys are absent.
+        assert answers.tolist() == [key in live for key in probes]
+        assert tree.lookup_many(probes).tolist() == [
+            key != keys[0] for key in probes
+        ]
+
+
+def test_from_online_requires_a_flushed_tree():
+    tree = OnlineLSMTree(WIDTH)
+    tree.put(3)
+    with pytest.raises(ValueError, match="no SSTs"):
+        ShardedLookupService.from_online(tree)
+
+
+# --------------------------------------------------------------------- #
+# Shared-memory lifecycle                                               #
+# --------------------------------------------------------------------- #
+
+
+def _segment_names(service):
+    return [
+        segment.name for worker in service._workers for segment in worker.segments
+    ]
+
+
+def _shm_exists(name):
+    return os.path.exists(f"/dev/shm/{name.lstrip('/')}")
+
+
+def test_process_service_cleans_up_all_segments_on_close():
+    keys = _population(seed=53, size=1000)
+    service = ShardedLookupService.build(
+        coerce_keys(keys, WIDTH), num_shards=2, spec=FilterSpec("bloom", 10.0)
+    )
+    names = _segment_names(service)
+    assert names and all(_shm_exists(name) for name in names)
+    answers, _ = service.serve_batch(keys[:10])
+    assert answers.all()
+    service.close()
+    assert not any(_shm_exists(name) for name in names)
+    for worker in service._workers:
+        assert not worker.process.is_alive()
+
+
+def test_killed_worker_raises_serve_error_and_still_cleans_up():
+    keys = _population(seed=59, size=1000)
+    service = ShardedLookupService.build(coerce_keys(keys, WIDTH), num_shards=2)
+    names = _segment_names(service)
+    try:
+        os.kill(service._workers[0].process.pid, signal.SIGKILL)
+        service._workers[0].process.join(10)
+        with pytest.raises(ServeError, match="died"):
+            service.serve_batch(keys[:10])
+    finally:
+        service.close()
+    assert not any(_shm_exists(name) for name in names)
+
+
+def test_failed_worker_spawn_unlinks_the_orphaned_segments(monkeypatch):
+    """A shard whose Process cannot even start must not leak its segments.
+
+    Regression: those segments are created *before* the worker handle is
+    registered, so the generic close() path never saw them.
+    """
+    import multiprocessing.context as mp_context
+
+    before = set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else set()
+
+    def exploding_process(self, *args, **kwargs):
+        raise OSError("no processes for you")
+
+    monkeypatch.setattr(mp_context.SpawnContext, "Process", exploding_process)
+    keys = _population(seed=67, size=500)
+    with pytest.raises(OSError, match="no processes"):
+        ShardedLookupService.build(coerce_keys(keys, WIDTH), num_shards=2)
+    after = set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else set()
+    leaked = [name for name in after - before if name.startswith("psm_")]
+    assert not leaked, leaked
+
+
+def test_snapshot_attach_roundtrip_zero_copy():
+    keys = _population(seed=61, size=900)
+    tree = LSMTree.build(coerce_keys(keys, WIDTH), sst_keys=128, seed=0)
+    spec, segments, filters = snapshot_tree(tree)
+    try:
+        attached, held = attach_tree(spec, filters)
+        try:
+            batch = QueryBatch(
+                np.array(keys[:50], dtype=np.int64),
+                np.array(keys[:50], dtype=np.int64),
+                WIDTH,
+            )
+            result = attached.probe(batch)
+            assert result.candidates.all()
+            assert attached.num_keys == tree.num_keys
+        finally:
+            del attached, batch, result
+            for segment in held:
+                segment.close()
+    finally:
+        for segment in segments:
+            segment.close()
+            segment.unlink()
+    assert not any(_shm_exists(segment.name) for segment in segments)
